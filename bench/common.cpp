@@ -1,0 +1,97 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "pattern/ruleset_gen.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--mb=", 5) == 0) {
+      opt.trace_mb = static_cast<std::size_t>(std::strtoull(arg + 5, nullptr, 10));
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      opt.runs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    }
+  }
+  if (opt.quick) {
+    opt.trace_mb = std::min<std::size_t>(opt.trace_mb, 4);
+    opt.runs = std::min(opt.runs, 2u);
+  }
+  if (opt.trace_mb == 0) opt.trace_mb = 1;
+  if (opt.runs == 0) opt.runs = 1;
+  return opt;
+}
+
+Throughput measure_scan(const Matcher& matcher, util::ByteView data, unsigned runs) {
+  Throughput result;
+  result.matches = matcher.count_matches(data);  // warm-up + match count
+  util::RunningStats stats;
+  for (unsigned r = 0; r < runs; ++r) {
+    util::Timer timer;
+    const std::uint64_t n = matcher.count_matches(data);
+    const double secs = timer.seconds();
+    if (n != result.matches) {
+      std::fprintf(stderr, "non-deterministic match count from %s\n",
+                   std::string(matcher.name()).c_str());
+    }
+    stats.add(util::gbps(data.size(), secs));
+  }
+  result.mean_gbps = stats.mean();
+  result.stddev_gbps = stats.stddev();
+  return result;
+}
+
+std::vector<Workload> paper_workloads(const Options& opt) {
+  const std::size_t bytes = opt.trace_mb << 20;
+  std::vector<Workload> w;
+  w.push_back({"ISCX-day2", traffic::generate_trace(traffic::TraceKind::iscx_day2, bytes,
+                                                    opt.seed + 10)});
+  w.push_back({"ISCX-day6", traffic::generate_trace(traffic::TraceKind::iscx_day6, bytes,
+                                                    opt.seed + 11)});
+  w.push_back({"DARPA-2000", traffic::generate_trace(traffic::TraceKind::darpa2000, bytes,
+                                                     opt.seed + 12)});
+  w.push_back({"random", traffic::generate_trace(traffic::TraceKind::random, bytes,
+                                                 opt.seed + 13)});
+  return w;
+}
+
+pattern::PatternSet s1_web_patterns(std::uint64_t seed) {
+  return pattern::generate_ruleset(pattern::s1_config(seed)).web_patterns();
+}
+
+pattern::PatternSet s2_web_patterns(std::uint64_t seed) {
+  return pattern::generate_ruleset(pattern::s2_config(seed)).web_patterns();
+}
+
+pattern::PatternSet s2_full_patterns(std::uint64_t seed) {
+  return pattern::generate_ruleset(pattern::s2_config(seed));
+}
+
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 12;
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-*s", width, cells[i].c_str());
+    line += buf;
+  }
+  std::puts(line.c_str());
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace vpm::bench

@@ -1,0 +1,56 @@
+// Shared benchmark harness: workload construction, repeated-run throughput
+// measurement (the paper reports mean and stddev over independent runs), and
+// aligned table output so each bench binary prints rows mirroring its figure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/matcher_factory.hpp"
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+#include "traffic/trace.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::bench {
+
+struct Options {
+  std::size_t trace_mb = 16;  // bytes scanned per workload
+  unsigned runs = 5;          // independent runs per cell (paper uses 10)
+  std::uint64_t seed = 1;
+  bool quick = false;  // --quick: 4 MB traces, 2 runs (CI smoke)
+};
+
+// Recognizes --mb=N --runs=N --seed=N --quick; ignores unknown flags so the
+// binaries can grow figure-specific options.
+Options parse_options(int argc, char** argv);
+
+struct Throughput {
+  double mean_gbps = 0.0;
+  double stddev_gbps = 0.0;
+  std::uint64_t matches = 0;
+};
+
+// Scans `data` `runs` times (after one untimed warm-up) and reports
+// throughput statistics.
+Throughput measure_scan(const Matcher& matcher, util::ByteView data, unsigned runs);
+
+// The paper's four evaluation workloads at the configured size.
+struct Workload {
+  std::string name;
+  util::Bytes trace;
+};
+std::vector<Workload> paper_workloads(const Options& opt);
+
+// The paper's pattern sets: S1-web (~2 K) and S2-web (~9 K), plus S2-full
+// (20 K) for Fig. 5/6.
+pattern::PatternSet s1_web_patterns(std::uint64_t seed = 1);
+pattern::PatternSet s2_web_patterns(std::uint64_t seed = 2);
+pattern::PatternSet s2_full_patterns(std::uint64_t seed = 2);
+
+// Minimal fixed-width table printer.
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths);
+std::string fmt(double v, int precision = 2);
+
+}  // namespace vpm::bench

@@ -1,0 +1,49 @@
+// Figure 5b: the two opposing trends behind the constant Fig. 5a speedup —
+//   (blue line) filtering time as a fraction of total running time falls as
+//   pattern count grows (verification eats the budget, Amdahl);
+//   (red line)  useful lanes per speculative Filter-3 block rise (more lanes
+//   pass Filter 2, so the all-lane evaluation wastes less work).
+//
+//   fig5b_filter_ratio [--mb=N] [--runs=N] [--seed=N] [--quick]
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/scan_stats.hpp"
+#include "core/vpatch.hpp"
+#include "traffic/trace.hpp"
+
+namespace vpm::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const auto full = s2_full_patterns(opt.seed);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2,
+                                             opt.trace_mb << 20, opt.seed + 10);
+
+  std::printf("=== Fig 5b: filtering/total time %% and useful F3 lanes %% vs patterns ===\n");
+  const std::vector<int> widths{10, 16, 18, 14, 14};
+  print_row({"patterns", "filter-time-%", "useful-lanes-%", "short-cand", "long-cand"}, widths);
+
+  const std::size_t counts[] = {1000, 2500, 5000, 10000, 15000, 20000};
+  for (std::size_t n : counts) {
+    const auto subset = full.random_subset(n, opt.seed + n);
+    const core::VpatchMatcher vpatch(subset);
+    core::ScanStats stats;
+    for (unsigned r = 0; r < opt.runs; ++r) {
+      CountingSink sink;
+      vpatch.scan_with_stats(trace, sink, stats);
+    }
+    print_row({std::to_string(subset.size()), fmt(stats.filter_time_fraction() * 100, 1),
+               fmt(stats.f3_lane_utilization() * 100, 1),
+               std::to_string(stats.short_candidates / opt.runs),
+               std::to_string(stats.long_candidates / opt.runs)},
+              widths);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vpm::bench
+
+int main(int argc, char** argv) { return vpm::bench::main_impl(argc, argv); }

@@ -1,0 +1,57 @@
+// Multi-thread scaling of the scan (paper §V-A: "different hardware threads
+// can operate independently on different parts of the stream ... the
+// aggregated gain will naturally be higher").  Splits one large trace across
+// threads with overlap-correct attribution and reports aggregate Gbps.
+//
+//   parallel_scaling [--mb=N] [--runs=N] [--seed=N] [--quick]
+#include <cstdio>
+#include <thread>
+
+#include "common.hpp"
+#include "core/parallel_scan.hpp"
+#include "traffic/trace.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const auto set = s1_web_patterns(opt.seed);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2,
+                                             opt.trace_mb << 20, opt.seed + 10);
+  std::printf("=== Thread scaling: %zu patterns, %zu MB HTTP trace, %u hw threads ===\n",
+              set.size(), opt.trace_mb, std::thread::hardware_concurrency());
+  const std::vector<int> widths{22, 10, 12, 12, 12};
+  print_row({"algorithm", "threads", "Gbps", "scaling", "matches"}, widths);
+
+  for (core::Algorithm algo : {core::Algorithm::dfc, core::Algorithm::vpatch}) {
+    if (!core::algorithm_available(algo)) continue;
+    const MatcherPtr m = core::make_matcher(algo, set);
+    core::ParallelScanConfig cfg;
+    cfg.max_pattern_len = set.max_pattern_length();
+    double base = 0.0;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      cfg.threads = threads;
+      (void)core::parallel_count_matches(*m, trace, cfg);  // warm-up
+      util::RunningStats stats;
+      std::uint64_t matches = 0;
+      for (unsigned r = 0; r < opt.runs; ++r) {
+        util::Timer timer;
+        matches = core::parallel_count_matches(*m, trace, cfg);
+        stats.add(util::gbps(trace.size(), timer.seconds()));
+      }
+      if (threads == 1) base = stats.mean();
+      print_row({std::string(m->name()), std::to_string(threads), fmt(stats.mean()),
+                 fmt(base > 0 ? stats.mean() / base : 0.0), std::to_string(matches)},
+                widths);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vpm::bench
+
+int main(int argc, char** argv) { return vpm::bench::main_impl(argc, argv); }

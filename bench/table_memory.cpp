@@ -1,0 +1,52 @@
+// Memory & build-cost comparison (supports the paper's §II motivation: "as
+// the number of patterns increases, the size of the state automaton
+// increases ... and does not fit in the cache", vs the filter engines' few
+// KB of cache-resident state).  Reports search-structure footprint and build
+// time per algorithm across ruleset sizes.
+//
+//   table_memory [--seed=N] [--quick]
+#include <cstdio>
+
+#include "ac/ac_full.hpp"
+#include "common.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  const auto full = s2_full_patterns(opt.seed);
+
+  std::printf("=== Search-structure memory and build time vs ruleset size ===\n");
+  const std::vector<int> widths{10, 22, 14, 14, 14};
+  print_row({"patterns", "algorithm", "memory-KB", "build-ms", "states"}, widths);
+
+  const std::size_t counts[] = {1000, 5000, 20000};
+  for (std::size_t n : counts) {
+    if (opt.quick && n > 5000) break;
+    const auto subset = full.random_subset(n, opt.seed + n);
+    for (core::Algorithm algo :
+         {core::Algorithm::aho_corasick, core::Algorithm::aho_corasick_sparse,
+          core::Algorithm::dfc, core::Algorithm::spatch, core::Algorithm::vpatch,
+          core::Algorithm::wu_manber}) {
+      if (!core::algorithm_available(algo)) continue;
+      util::Timer timer;
+      const MatcherPtr m = core::make_matcher(algo, subset);
+      const double build_ms = timer.millis();
+      std::string states = "-";
+      if (const auto* ac = dynamic_cast<const ac::AcFullMatcher*>(m.get())) {
+        states = std::to_string(ac->state_count());
+      }
+      print_row({std::to_string(subset.size()), std::string(m->name()),
+                 std::to_string(m->memory_bytes() >> 10), fmt(build_ms, 1), states},
+                widths);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vpm::bench
+
+int main(int argc, char** argv) { return vpm::bench::main_impl(argc, argv); }

@@ -1,0 +1,106 @@
+// Packet-level sensor: the complete deployed-NIDS path — pcap capture in,
+// TCP reassembly, protocol-grouped V-PATCH inspection, alerts out.
+//
+//   ./pcap_sensor <capture.pcap> [rules.rules]   inspect a real capture
+//   ./pcap_sensor --demo                         generate + inspect a capture
+//
+// Demo mode synthesizes HTTP flows (with deliberately reordered segments and
+// planted attack payloads), writes a well-formed pcap to a temp file, then
+// runs the inspection pipeline on it — proving a pattern split across TCP
+// segments is still caught.
+#include <cstdio>
+#include <cstring>
+
+#include "ids/pcap_pipeline.hpp"
+#include "net/flowgen.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "pattern/snort_rules.hpp"
+#include "util/byte_io.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace vpm;
+
+int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
+  util::Timer timer;
+  const auto result = ids::inspect_pcap(pcap_bytes, rules, {core::Algorithm::vpatch});
+  const double secs = timer.seconds();
+
+  std::printf("packets: %zu (skipped %zu), flows: %llu, reassembly drops: %llu, "
+              "overlap bytes trimmed: %llu\n",
+              result.packets, result.skipped_records,
+              static_cast<unsigned long long>(result.counters.flows),
+              static_cast<unsigned long long>(result.reassembly_drops),
+              static_cast<unsigned long long>(result.duplicate_bytes_trimmed));
+  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps incl. reassembly)\n",
+              static_cast<unsigned long long>(result.counters.bytes_inspected), secs,
+              util::gbps(result.counters.bytes_inspected, secs));
+  std::printf("%zu alerts; first 10:\n", result.alerts.size());
+  for (std::size_t i = 0; i < result.alerts.size() && i < 10; ++i) {
+    std::printf("  %s\n", format_alert(result.alerts[i], rules).c_str());
+  }
+  return 0;
+}
+
+int run_demo() {
+  std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
+
+  // Flows with 30% adjacent-segment reordering.
+  net::FlowGenConfig cfg;
+  cfg.flow_count = 6;
+  cfg.bytes_per_flow = 1 << 20;
+  cfg.reorder_fraction = 0.3;
+  cfg.seed = 11;
+  auto flows = net::generate_flows(cfg);
+
+  // Plant an attack string ACROSS a segment boundary of flow 0: segment
+  // payloads come from the stream, so patching the stream before packets are
+  // cut would be invisible; instead patch two consecutive packets' payloads.
+  const char* attack = "GET /cgi-bin/../../../../etc/passwd HTTP/1.1";
+  std::vector<net::Packet*> flow0;
+  for (auto& p : flows.packets) {
+    if (p.tuple == flows.tuples[0]) flow0.push_back(&p);
+  }
+  if (flow0.size() >= 4) {
+    net::Packet& a = *flow0[2];
+    net::Packet& b = *flow0[3];
+    const std::size_t len = std::strlen(attack);
+    const std::size_t first = std::min(a.payload.size(), len / 2);
+    std::memcpy(a.payload.data() + a.payload.size() - first, attack, first);
+    std::memcpy(b.payload.data(), attack + first, std::min(b.payload.size(), len - first));
+  }
+
+  const auto pcap = net::write_pcap(flows.packets);
+  const std::string path = "/tmp/vpm_demo.pcap";
+  util::write_file(path, pcap);
+  std::printf("wrote %zu packets (%zu KB) to %s\n\n", flows.packets.size(),
+              pcap.size() >> 10, path.c_str());
+
+  pattern::PatternSet rules;
+  rules.add("/etc/passwd", true, pattern::Group::http);
+  rules.add("cgi-bin/..", true, pattern::Group::http);
+  rules.add("UNION SELECT", true, pattern::Group::http);
+  rules.add("<script>alert(", true, pattern::Group::http);
+  return run(pcap, rules);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) return run_demo();
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <capture.pcap> [rules.rules]  |  %s --demo\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+  const auto pcap = util::read_file(argv[1]);
+  pattern::PatternSet rules;
+  if (argc >= 3) {
+    rules = pattern::patterns_from_rules(util::to_string(util::read_file(argv[2])));
+  } else {
+    rules = pattern::generate_ruleset(pattern::s1_config(1));
+  }
+  std::printf("%zu patterns\n", rules.size());
+  return run(pcap, rules);
+}

@@ -1,0 +1,41 @@
+// Quickstart: build a V-PATCH matcher from a handful of patterns and scan a
+// buffer — the 30-second tour of the public API.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/matcher_factory.hpp"
+#include "pattern/pattern_set.hpp"
+
+int main() {
+  using namespace vpm;
+
+  // 1. Collect patterns.  Ids are dense and stable; `nocase` gives Snort-style
+  //    ASCII case-insensitive matching; groups tag protocol relevance.
+  pattern::PatternSet patterns;
+  patterns.add("GET /admin", /*nocase=*/true, pattern::Group::http);
+  patterns.add("UNION SELECT", /*nocase=*/true, pattern::Group::http);
+  patterns.add("/etc/passwd");
+  patterns.add("\x90\x90\x90\x90");  // binary patterns work too
+
+  // 2. Build a matcher.  Algorithm::vpatch picks the widest SIMD kernel the
+  //    CPU offers (AVX-512 W=16, AVX2 W=8, scalar fallback) — all engines
+  //    report the identical matches.
+  const MatcherPtr matcher = core::make_matcher(core::Algorithm::vpatch, patterns);
+  std::printf("engine: %s, search structures: %zu KB\n",
+              std::string(matcher->name()).c_str(), matcher->memory_bytes() >> 10);
+
+  // 3. Scan.  Sinks receive (pattern_id, start offset) for every occurrence.
+  const std::string payload =
+      "GET /admin HTTP/1.1\r\nHost: x\r\n\r\n"
+      "id=1 union select password from users -- /etc/passwd";
+  const auto matches = matcher->find_matches(util::as_view(payload));
+
+  std::printf("%zu matches in %zu bytes:\n", matches.size(), payload.size());
+  for (const Match& m : matches) {
+    std::printf("  offset %4llu  pattern %u  '%s'\n",
+                static_cast<unsigned long long>(m.pos), m.pattern_id,
+                patterns[m.pattern_id].printable().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Interactive throughput explorer: pick an algorithm, a pattern count and a
+// trace kind; get Gbps and match counts.  Handy for poking at the trade-off
+// space without running the full figure benches.
+//
+//   ./ruleset_bench [--algo=NAME] [--patterns=N] [--trace=iscx2|iscx6|darpa|random]
+//                   [--mb=N] [--seed=N] [--list]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/matcher_factory.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "traffic/trace.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vpm;
+
+  std::string algo_name = "v-patch";
+  std::size_t n_patterns = 2000;
+  std::string trace_name = "iscx2";
+  std::size_t mb = 8;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--algo=", 7) == 0) algo_name = a + 7;
+    else if (std::strncmp(a, "--patterns=", 11) == 0) n_patterns = std::strtoull(a + 11, nullptr, 10);
+    else if (std::strncmp(a, "--trace=", 8) == 0) trace_name = a + 8;
+    else if (std::strncmp(a, "--mb=", 5) == 0) mb = std::strtoull(a + 5, nullptr, 10);
+    else if (std::strncmp(a, "--seed=", 7) == 0) seed = std::strtoull(a + 7, nullptr, 10);
+    else if (std::strcmp(a, "--list") == 0) {
+      std::printf("algorithms available on this CPU:\n");
+      for (core::Algorithm alg : core::available_algorithms()) {
+        std::printf("  %s\n", std::string(core::algorithm_name(alg)).c_str());
+      }
+      return 0;
+    }
+  }
+
+  const auto algo = core::algorithm_from_name(algo_name);
+  if (!algo || !core::algorithm_available(*algo)) {
+    std::fprintf(stderr, "unknown or unavailable algorithm '%s' (try --list)\n",
+                 algo_name.c_str());
+    return 2;
+  }
+
+  traffic::TraceKind kind = traffic::TraceKind::iscx_day2;
+  if (trace_name == "iscx6") kind = traffic::TraceKind::iscx_day6;
+  else if (trace_name == "darpa") kind = traffic::TraceKind::darpa2000;
+  else if (trace_name == "random") kind = traffic::TraceKind::random;
+  else if (trace_name != "iscx2") {
+    std::fprintf(stderr, "unknown trace '%s'\n", trace_name.c_str());
+    return 2;
+  }
+
+  pattern::RulesetConfig cfg = pattern::s2_config(seed);
+  const auto full = pattern::generate_ruleset(cfg);
+  const auto set = full.random_subset(n_patterns, seed + 1);
+  std::printf("patterns: %zu (of %zu generated), trace: %s %zu MB, seed %llu\n", set.size(),
+              full.size(), trace_name.c_str(), mb, static_cast<unsigned long long>(seed));
+
+  util::Timer build_timer;
+  const MatcherPtr m = core::make_matcher(*algo, set);
+  std::printf("%s: built in %.2f ms, structures %zu KB\n",
+              std::string(m->name()).c_str(), build_timer.millis(), m->memory_bytes() >> 10);
+
+  const auto trace = traffic::generate_trace(kind, mb << 20, seed + 2);
+  (void)m->count_matches(trace);  // warm-up
+  util::Timer timer;
+  const auto matches = m->count_matches(trace);
+  const double secs = timer.seconds();
+  std::printf("scan: %.3f s, %.2f Gbps, %llu matches\n", secs, util::gbps(trace.size(), secs),
+              static_cast<unsigned long long>(matches));
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "ac/ac_full.hpp"
+
+#include <deque>
+
+#include "ac/trie.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::ac {
+
+AcFullMatcher::AcFullMatcher(const pattern::PatternSet& set) : set_(&set) {
+  const Trie trie(set);
+  const auto& nodes = trie.nodes();
+  state_count_ = trie.state_count();
+
+  meta_.reserve(set.size());
+  for (const pattern::Pattern& p : set) {
+    meta_.push_back({static_cast<std::uint32_t>(p.size()), p.nocase});
+  }
+
+  // Dense transition matrix, resolved in BFS order so each state's fail
+  // target is already complete when the state is processed.
+  next_.assign(state_count_ * 256, 0);
+  for (const auto& [b, child] : nodes[0].children) next_[b] = child;
+  std::deque<std::uint32_t> queue;
+  for (const auto& [b, child] : nodes[0].children) queue.push_back(child);
+  while (!queue.empty()) {
+    const std::uint32_t s = queue.front();
+    queue.pop_front();
+    const std::uint32_t f = nodes[s].fail;
+    std::uint32_t* row = next_.data() + static_cast<std::size_t>(s) * 256;
+    const std::uint32_t* fail_row = next_.data() + static_cast<std::size_t>(f) * 256;
+    for (unsigned b = 0; b < 256; ++b) row[b] = fail_row[b];
+    for (const auto& [b, child] : nodes[s].children) {
+      row[b] = child;
+      queue.push_back(child);
+    }
+  }
+
+  // Merged output lists: the state's own outputs plus every output reachable
+  // over the report-link chain (patterns that are proper suffixes).
+  output_spans_.resize(state_count_);
+  for (std::uint32_t s = 0; s < state_count_; ++s) {
+    const auto begin = static_cast<std::uint32_t>(output_ids_.size());
+    for (std::uint32_t id : nodes[s].outputs) output_ids_.push_back(id);
+    for (std::uint32_t n = nodes[s].report_link; n != kNoState; n = nodes[n].report_link) {
+      for (std::uint32_t id : nodes[n].outputs) output_ids_.push_back(id);
+    }
+    output_spans_[s] = {begin, static_cast<std::uint32_t>(output_ids_.size()) - begin};
+  }
+}
+
+void AcFullMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  const std::uint32_t* next = next_.data();
+  std::uint32_t state = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    state = next[static_cast<std::size_t>(state) * 256 + util::ascii_lower(data[i])];
+    const OutputSpan span = output_spans_[state];
+    if (span.count == 0) continue;
+    for (std::uint32_t k = 0; k < span.count; ++k) {
+      const std::uint32_t id = output_ids_[span.begin + k];
+      const Meta m = meta_[id];
+      const std::uint64_t start = i + 1 - m.length;
+      if (!m.nocase) {
+        // Automaton is case-folded; exact-case patterns verify raw bytes.
+        const pattern::Pattern& p = (*set_)[id];
+        if (!p.matches_at(data, start)) continue;
+      }
+      sink.on_match({id, start});
+    }
+  }
+}
+
+std::size_t AcFullMatcher::memory_bytes() const {
+  return next_.size() * sizeof(std::uint32_t) + output_ids_.size() * sizeof(std::uint32_t) +
+         output_spans_.size() * sizeof(OutputSpan) + meta_.size() * sizeof(Meta);
+}
+
+}  // namespace vpm::ac

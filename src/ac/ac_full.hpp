@@ -1,0 +1,51 @@
+// Full-matrix Aho-Corasick (Snort's "ac-full" style).
+//
+// The fail function is compiled away into a dense state x 256 transition
+// matrix: one table lookup per input byte, no fail-chain walking.  This is
+// the fastest scalar form and also the memory hog the paper contrasts with
+// the filtering approaches ("the size of the state automaton increases
+// exponentially and does not fit in the cache").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::ac {
+
+class AcFullMatcher final : public Matcher {
+ public:
+  explicit AcFullMatcher(const pattern::PatternSet& set);
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override { return "Aho-Corasick"; }
+  std::size_t memory_bytes() const override;
+
+  std::size_t state_count() const { return state_count_; }
+
+ private:
+  struct OutputSpan {
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+
+  // next_[state * 256 + folded_byte] -> state
+  std::vector<std::uint32_t> next_;
+  // Per-state merged output list (all patterns whose folded form is a suffix
+  // of the state string), flattened.
+  std::vector<OutputSpan> output_spans_;
+  std::vector<std::uint32_t> output_ids_;
+
+  // Pattern metadata for reporting / case verification.
+  struct Meta {
+    std::uint32_t length = 0;
+    bool nocase = false;
+  };
+  std::vector<Meta> meta_;
+  const pattern::PatternSet* set_ = nullptr;
+  std::size_t state_count_ = 0;
+};
+
+}  // namespace vpm::ac

@@ -1,0 +1,86 @@
+#include "ac/trie.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/bytes.hpp"
+
+namespace vpm::ac {
+
+namespace {
+
+std::uint32_t find_child(const TrieNode& node, std::uint8_t b) {
+  auto it = std::lower_bound(node.children.begin(), node.children.end(), b,
+                             [](const auto& e, std::uint8_t key) { return e.first < key; });
+  if (it != node.children.end() && it->first == b) return it->second;
+  return kNoState;
+}
+
+}  // namespace
+
+Trie::Trie(const pattern::PatternSet& set) {
+  nodes_.emplace_back();  // root = state 0
+
+  // Phase 1: goto function (byte-folded trie).
+  for (const pattern::Pattern& p : set) {
+    std::uint32_t state = 0;
+    for (std::uint8_t raw : p.bytes) {
+      const std::uint8_t b = util::ascii_lower(raw);
+      std::uint32_t next = find_child(nodes_[state], b);
+      if (next == kNoState) {
+        next = static_cast<std::uint32_t>(nodes_.size());
+        auto& children = nodes_[state].children;
+        auto it = std::lower_bound(children.begin(), children.end(), b,
+                                   [](const auto& e, std::uint8_t key) { return e.first < key; });
+        children.insert(it, {b, next});
+        nodes_.emplace_back();
+        nodes_.back().depth_byte = b;
+      }
+      state = next;
+    }
+    nodes_[state].outputs.push_back(p.id);
+  }
+
+  // Phase 2: BFS fail links + report links.
+  std::deque<std::uint32_t> queue;
+  for (const auto& [b, child] : nodes_[0].children) {
+    nodes_[child].fail = 0;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    const std::uint32_t state = queue.front();
+    queue.pop_front();
+    const std::uint32_t fail_of_state = nodes_[state].fail;
+    nodes_[state].report_link = nodes_[fail_of_state].outputs.empty()
+                                    ? nodes_[fail_of_state].report_link
+                                    : fail_of_state;
+    for (const auto& [b, child] : nodes_[state].children) {
+      // Walk fail chain of the parent to find the longest proper suffix state
+      // with a b-transition.
+      std::uint32_t f = fail_of_state;
+      std::uint32_t target = find_child(nodes_[f], b);
+      while (target == kNoState && f != 0) {
+        f = nodes_[f].fail;
+        target = find_child(nodes_[f], b);
+      }
+      if (target == kNoState) target = 0;
+      nodes_[child].fail = (target == child) ? 0 : target;
+      queue.push_back(child);
+    }
+  }
+}
+
+std::uint32_t Trie::child(std::uint32_t state, std::uint8_t folded) const {
+  return find_child(nodes_[state], folded);
+}
+
+std::uint32_t Trie::next_state(std::uint32_t state, std::uint8_t folded) const {
+  for (;;) {
+    const std::uint32_t t = find_child(nodes_[state], folded);
+    if (t != kNoState) return t;
+    if (state == 0) return 0;
+    state = nodes_[state].fail;
+  }
+}
+
+}  // namespace vpm::ac

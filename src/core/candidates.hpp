@@ -1,0 +1,33 @@
+// Candidate-position buffers (the paper's A_short / A_long temporary arrays).
+//
+// Round one appends positions; round two verifies and clears.  The arrays
+// carry slack beyond the logical end because the AVX2 left-pack store always
+// writes a full vector register (8 dwords) regardless of how many lanes
+// matched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vpm::core {
+
+struct CandidateBuffers {
+  std::vector<std::uint32_t> short_pos;
+  std::vector<std::uint32_t> long_pos;
+  std::uint32_t n_short = 0;
+  std::uint32_t n_long = 0;
+
+  static constexpr std::size_t kStoreSlack = 16;  // >= one full vector store
+
+  // Capacity for filtering a chunk of `chunk_positions` positions: every
+  // position can be stored in both arrays in the worst case.
+  void ensure_capacity(std::size_t chunk_positions) {
+    const std::size_t need = chunk_positions + kStoreSlack;
+    if (short_pos.size() < need) short_pos.resize(need);
+    if (long_pos.size() < need) long_pos.resize(need);
+  }
+
+  void clear() { n_short = n_long = 0; }
+};
+
+}  // namespace vpm::core

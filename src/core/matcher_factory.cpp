@@ -1,0 +1,93 @@
+#include "core/matcher_factory.hpp"
+
+#include "ac/ac_full.hpp"
+#include "ac/ac_sparse.hpp"
+#include "core/naive.hpp"
+#include "core/spatch.hpp"
+#include "dfc/dfc.hpp"
+#include "dfc/vector_dfc.hpp"
+#include "simd/cpu_features.hpp"
+#include "wm/wu_manber.hpp"
+
+namespace vpm::core {
+
+std::string_view algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::naive: return "naive";
+    case Algorithm::aho_corasick: return "aho-corasick";
+    case Algorithm::aho_corasick_sparse: return "aho-corasick-sparse";
+    case Algorithm::dfc: return "dfc";
+    case Algorithm::vector_dfc: return "vector-dfc";
+    case Algorithm::spatch: return "s-patch";
+    case Algorithm::vpatch: return "v-patch";
+    case Algorithm::vpatch_avx2: return "v-patch-avx2";
+    case Algorithm::vpatch_avx512: return "v-patch-avx512";
+    case Algorithm::wu_manber: return "wu-manber";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> algorithm_from_name(std::string_view name) {
+  for (Algorithm a : {Algorithm::naive, Algorithm::aho_corasick, Algorithm::aho_corasick_sparse,
+                      Algorithm::dfc, Algorithm::vector_dfc, Algorithm::spatch, Algorithm::vpatch,
+                      Algorithm::vpatch_avx2, Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
+    if (algorithm_name(a) == name) return a;
+  }
+  return std::nullopt;
+}
+
+bool algorithm_available(Algorithm a) {
+  switch (a) {
+    case Algorithm::vector_dfc:
+    case Algorithm::vpatch_avx2:
+      return simd::cpu().has_avx2_kernel();
+    case Algorithm::vpatch_avx512:
+      return simd::cpu().has_avx512_kernel();
+    default:
+      return true;
+  }
+}
+
+std::vector<Algorithm> available_algorithms() {
+  std::vector<Algorithm> out;
+  for (Algorithm a : {Algorithm::naive, Algorithm::aho_corasick, Algorithm::aho_corasick_sparse,
+                      Algorithm::dfc, Algorithm::vector_dfc, Algorithm::spatch, Algorithm::vpatch,
+                      Algorithm::vpatch_avx2, Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
+    if (algorithm_available(a)) out.push_back(a);
+  }
+  return out;
+}
+
+MatcherPtr make_matcher(Algorithm a, const pattern::PatternSet& set) {
+  switch (a) {
+    case Algorithm::naive:
+      return std::make_unique<NaiveMatcher>(set);
+    case Algorithm::aho_corasick:
+      return std::make_unique<ac::AcFullMatcher>(set);
+    case Algorithm::aho_corasick_sparse:
+      return std::make_unique<ac::AcSparseMatcher>(set);
+    case Algorithm::dfc:
+      return std::make_unique<dfc::DfcMatcher>(set);
+    case Algorithm::vector_dfc:
+      return std::make_unique<dfc::VectorDfcMatcher>(set);
+    case Algorithm::spatch:
+      return std::make_unique<SpatchMatcher>(set);
+    case Algorithm::vpatch:
+      return std::make_unique<VpatchMatcher>(set);
+    case Algorithm::vpatch_avx2: {
+      VpatchConfig cfg;
+      cfg.isa = Isa::avx2;
+      return std::make_unique<VpatchMatcher>(set, cfg);
+    }
+    case Algorithm::vpatch_avx512: {
+      VpatchConfig cfg;
+      cfg.isa = Isa::avx512;
+      return std::make_unique<VpatchMatcher>(set, cfg);
+    }
+    case Algorithm::wu_manber:
+      return std::make_unique<wm::WuManberMatcher>(set);
+  }
+  throw std::runtime_error("unknown algorithm");
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,39 @@
+// Engine factory: the five evaluated algorithms (paper §V) plus the extra
+// baselines, behind one constructor for benches, examples and tests.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/vpatch.hpp"
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::core {
+
+enum class Algorithm : std::uint8_t {
+  naive,
+  aho_corasick,         // full-matrix (the paper's AC baseline)
+  aho_corasick_sparse,  // failure-link variant
+  dfc,                  // Choi et al. baseline
+  vector_dfc,           // direct vectorization of DFC
+  spatch,               // scalar restructured design
+  vpatch,               // vectorized, widest available kernel
+  vpatch_avx2,          // forced W=8
+  vpatch_avx512,        // forced W=16
+  wu_manber,
+};
+
+std::string_view algorithm_name(Algorithm a);
+std::optional<Algorithm> algorithm_from_name(std::string_view name);
+// All algorithms buildable on this CPU (vector variants only when supported).
+std::vector<Algorithm> available_algorithms();
+bool algorithm_available(Algorithm a);
+
+// Builds a matcher over `set`. The PatternSet must outlive the matcher.
+// Throws std::runtime_error for vector engines on unsupported CPUs.
+MatcherPtr make_matcher(Algorithm a, const pattern::PatternSet& set);
+
+}  // namespace vpm::core

@@ -1,0 +1,13 @@
+#include "core/naive.hpp"
+
+namespace vpm::core {
+
+void NaiveMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  for (std::size_t pos = 0; pos < data.size(); ++pos) {
+    for (const pattern::Pattern& p : *set_) {
+      if (p.matches_at(data, pos)) sink.on_match({p.id, pos});
+    }
+  }
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,22 @@
+// Brute-force reference matcher: O(positions x patterns) — the ground truth
+// oracle for the differential test suite.  Never used in benchmarks.
+#pragma once
+
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::core {
+
+class NaiveMatcher final : public Matcher {
+ public:
+  explicit NaiveMatcher(const pattern::PatternSet& set) : set_(&set) {}
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override { return "naive"; }
+  std::size_t memory_bytes() const override { return 0; }
+
+ private:
+  const pattern::PatternSet* set_;
+};
+
+}  // namespace vpm::core

@@ -1,0 +1,111 @@
+#include "core/parallel_scan.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace vpm::core {
+
+namespace {
+
+struct Segment {
+  std::size_t begin = 0;      // first start-offset owned by this segment
+  std::size_t end = 0;        // first start-offset NOT owned
+  std::size_t scan_end = 0;   // end of the byte slice actually scanned
+};
+
+std::vector<Segment> split(std::size_t n, unsigned threads, std::size_t max_len) {
+  std::vector<Segment> segs;
+  const std::size_t per = (n + threads - 1) / threads;
+  for (std::size_t begin = 0; begin < n; begin += per) {
+    Segment s;
+    s.begin = begin;
+    s.end = std::min(begin + per, n);
+    // Lookahead so a match starting before `end` can complete.
+    s.scan_end = std::min(s.end + (max_len > 0 ? max_len - 1 : 0), n);
+    segs.push_back(s);
+  }
+  return segs;
+}
+
+unsigned effective_threads(const ParallelScanConfig& cfg, std::size_t n) {
+  unsigned t = cfg.threads != 0 ? cfg.threads : std::thread::hardware_concurrency();
+  if (t == 0) t = 1;
+  // No point spawning more threads than ~64 KB slices.
+  const auto by_size = static_cast<unsigned>(std::max<std::size_t>(n / (64 * 1024), 1));
+  return std::min(t, by_size);
+}
+
+// Sink that keeps only matches starting inside the owned range.
+template <typename OnMatch>
+class RangeSink final : public MatchSink {
+ public:
+  RangeSink(std::size_t base, std::size_t owned_end, OnMatch on_match)
+      : base_(base), owned_end_(owned_end), on_match_(on_match) {}
+
+  void on_match(const Match& m) override {
+    const std::uint64_t global = base_ + m.pos;
+    if (global < owned_end_) on_match_(Match{m.pattern_id, global});
+  }
+
+ private:
+  std::size_t base_;
+  std::size_t owned_end_;
+  OnMatch on_match_;
+};
+
+}  // namespace
+
+std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView data,
+                                         const ParallelScanConfig& cfg) {
+  const unsigned threads = effective_threads(cfg, data.size());
+  if (threads <= 1 || data.empty()) return matcher.find_matches(data);
+
+  const auto segments = split(data.size(), threads, cfg.max_pattern_len);
+  std::vector<std::vector<Match>> per_thread(segments.size());
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(segments.size());
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      pool.emplace_back([&, i] {
+        const Segment s = segments[i];
+        auto collect = [&](const Match& m) { per_thread[i].push_back(m); };
+        RangeSink sink(s.begin, s.end, collect);
+        matcher.scan({data.data() + s.begin, s.scan_end - s.begin}, sink);
+      });
+    }
+  }
+
+  std::vector<Match> all;
+  std::size_t total = 0;
+  for (const auto& v : per_thread) total += v.size();
+  all.reserve(total);
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data,
+                                     const ParallelScanConfig& cfg) {
+  const unsigned threads = effective_threads(cfg, data.size());
+  if (threads <= 1 || data.empty()) return matcher.count_matches(data);
+
+  const auto segments = split(data.size(), threads, cfg.max_pattern_len);
+  std::vector<std::uint64_t> counts(segments.size(), 0);
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(segments.size());
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      pool.emplace_back([&, i] {
+        const Segment s = segments[i];
+        auto count = [&](const Match&) { ++counts[i]; };
+        RangeSink sink(s.begin, s.end, count);
+        matcher.scan({data.data() + s.begin, s.scan_end - s.begin}, sink);
+      });
+    }
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,34 @@
+// Data-parallel scanning across hardware threads.
+//
+// The paper evaluates single-thread speedup and notes that "different
+// hardware threads can operate independently on different parts of the
+// stream" (§V-A) — this module implements that split: the input is divided
+// into per-thread segments, each thread scans its segment plus a
+// (max_pattern_len - 1)-byte lookahead so straddling matches are found, and
+// each match is attributed to exactly one thread by its start offset.
+// Matchers are stateless per scan, so one shared matcher serves all threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.hpp"
+
+namespace vpm::core {
+
+struct ParallelScanConfig {
+  unsigned threads = 0;  // 0 = std::thread::hardware_concurrency()
+  // Upper bound on pattern length; governs the segment overlap. Using the
+  // true max pattern length of the set is exact; larger values are safe.
+  std::size_t max_pattern_len = 256;
+};
+
+// All matches, sorted canonically; equivalent to matcher.find_matches(data).
+std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView data,
+                                         const ParallelScanConfig& cfg);
+
+// Match count only (no per-match storage across threads beyond counters).
+std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data,
+                                     const ParallelScanConfig& cfg);
+
+}  // namespace vpm::core

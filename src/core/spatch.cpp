@@ -1,0 +1,137 @@
+#include "core/spatch.hpp"
+
+#include <algorithm>
+
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::core {
+
+void spatch_filter_scalar(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                          std::size_t total_len, const FilterBank& bank,
+                          CandidateBuffers& out) {
+  // The scalar loop benefits from the merged layout too: one 2-byte load
+  // serves both Filter 1 (low byte) and Filter 2 (high byte).
+  const std::uint8_t* merged = bank.merged_data();
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t window = util::load_u16(data + i);
+    const std::uint32_t word = util::load_u16(merged + 2 * (window >> 3));
+    const std::uint32_t bit = window & 7u;
+    if ((word >> bit) & 1u) {
+      out.short_pos[out.n_short++] = static_cast<std::uint32_t>(i);
+    }
+    if ((word >> (bit + 8)) & 1u && i + 4 <= total_len) {
+      const std::uint32_t window4 = util::load_u32(data + i);
+      if (bank.test_f3(window4)) {
+        out.long_pos[out.n_long++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+}
+
+void spatch_filter_tail(const std::uint8_t* data, std::size_t total_len,
+                        const FilterBank& bank, CandidateBuffers& out) {
+  if (total_len == 0) return;
+  const std::uint32_t window = data[total_len - 1];  // zero-padded second byte
+  if (bank.test_f1(window)) {
+    out.short_pos[out.n_short++] = static_cast<std::uint32_t>(total_len - 1);
+  }
+}
+
+SpatchMatcher::SpatchMatcher(const pattern::PatternSet& set, SpatchConfig cfg)
+    : cfg_(cfg), bank_(set, cfg.filters), verifier_(set, cfg.long_bucket_bits) {}
+
+template <bool kWithStats>
+void SpatchMatcher::scan_impl(util::ByteView data, MatchSink& sink, ScanStats* stats) const {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  CandidateBuffers buffers;
+  buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
+
+  // The main loop covers positions with a complete 2-byte window.
+  const std::size_t last_window_pos = n - 1;  // exclusive bound for round one
+  for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {
+    const std::size_t end = std::min(chunk + cfg_.chunk_size, last_window_pos);
+    buffers.clear();
+
+    util::Timer timer;
+    if (chunk < end) {
+      spatch_filter_scalar(data.data(), chunk, end, n, bank_, buffers);
+    }
+    if (chunk + cfg_.chunk_size >= n) {
+      spatch_filter_tail(data.data(), n, bank_, buffers);
+    }
+    if constexpr (kWithStats) {
+      stats->filter_seconds += timer.seconds();
+      stats->short_candidates += buffers.n_short;
+      stats->long_candidates += buffers.n_long;
+      timer.reset();
+    }
+
+    verifier_.verify_short(data, {buffers.short_pos.data(), buffers.n_short}, sink);
+    verifier_.verify_long(data, {buffers.long_pos.data(), buffers.n_long}, sink);
+    if constexpr (kWithStats) {
+      stats->verify_seconds += timer.seconds();
+    }
+  }
+}
+
+void SpatchMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  scan_impl<false>(data, sink, nullptr);
+}
+
+void SpatchMatcher::scan_with_stats(util::ByteView data, MatchSink& sink,
+                                    ScanStats& stats) const {
+  stats.vector_width = 1;
+  struct Tee final : MatchSink {
+    MatchSink* inner = nullptr;
+    std::uint64_t n = 0;
+    void on_match(const Match& m) override {
+      ++n;
+      inner->on_match(m);
+    }
+  } tee;
+  tee.inner = &sink;
+  scan_impl<true>(data, tee, &stats);
+  stats.matches += tee.n;
+}
+
+SpatchMatcher::FilterOnlyResult SpatchMatcher::filter_only(util::ByteView data,
+                                                           bool with_stores) const {
+  FilterOnlyResult result;
+  const std::size_t n = data.size();
+  if (n == 0) return result;
+  CandidateBuffers buffers;
+  buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
+
+  if (with_stores) {
+    const std::size_t last = n - 1;
+    for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {
+      const std::size_t end = std::min(chunk + cfg_.chunk_size, last);
+      buffers.clear();
+      if (chunk < end) spatch_filter_scalar(data.data(), chunk, end, n, bank_, buffers);
+      if (chunk + cfg_.chunk_size >= n) spatch_filter_tail(data.data(), n, bank_, buffers);
+      result.short_candidates += buffers.n_short;
+      result.long_candidates += buffers.n_long;
+    }
+    return result;
+  }
+
+  // No-stores variant: identical probe sequence, counters only.
+  const std::uint8_t* d = data.data();
+  std::uint64_t shorts = 0;
+  std::uint64_t longs = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::uint32_t window = util::load_u16(d + i);
+    if (bank_.test_f1(window)) ++shorts;
+    if (bank_.test_f2(window) && i + 4 <= n) {
+      if (bank_.test_f3(util::load_u32(d + i))) ++longs;
+    }
+  }
+  if (bank_.test_f1(d[n - 1])) ++shorts;
+  result.short_candidates = shorts;
+  result.long_candidates = longs;
+  return result;
+}
+
+}  // namespace vpm::core

@@ -1,0 +1,78 @@
+#include "core/traffic_profile.hpp"
+
+#include <cmath>
+
+#include "dfc/direct_filter.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::core {
+
+void accumulate_profile(TrafficProfile& profile, util::ByteView sample) {
+  if (sample.size() < 2) return;
+  for (std::size_t i = 0; i + 1 < sample.size(); ++i) {
+    ++profile.window2_counts[util::load_u16(sample.data() + i)];
+  }
+  profile.total_windows += sample.size() - 1;
+}
+
+TrafficProfile profile_traffic(util::ByteView sample) {
+  TrafficProfile p;
+  accumulate_profile(p, sample);
+  return p;
+}
+
+FilterPlan plan_filters(const pattern::PatternSet& set, const TrafficProfile& profile,
+                        double target_long_rate, unsigned min_bits, unsigned max_bits) {
+  FilterPlan plan;
+
+  // Exact F1/F2 hit rates: build the two direct filters and weight each set
+  // bit by the traffic frequency of its window value.
+  dfc::DirectFilter2B f1, f2;
+  std::size_t long_patterns = 0;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() < pattern::kShortLongBoundary) {
+      f1.add_pattern_prefix(p);
+    } else {
+      f2.add_pattern_prefix(p);
+      ++long_patterns;
+    }
+  }
+  for (std::uint32_t w = 0; w < (1u << 16); ++w) {
+    const double freq = profile.frequency(w);
+    if (freq == 0.0) continue;
+    if (f1.test(w)) plan.f1_hit_rate += freq;
+    if (f2.test(w)) plan.f2_hit_rate += freq;
+  }
+
+  // F3 sizing: its false-positive pass rate on non-matching windows is its
+  // occupancy (uniform multiplicative hash).  Occupancy at size 2^b with k
+  // distinct inserted keys is 1 - (1 - 2^-b)^k; count keys incl. case
+  // variants without building every size.
+  std::size_t f3_keys = 0;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() < pattern::kShortLongBoundary) continue;
+    std::size_t variants = 1;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::uint8_t c = p.bytes[i];
+      if (p.nocase && util::ascii_lower(c) != util::ascii_upper(c)) variants *= 2;
+    }
+    f3_keys += variants;
+  }
+
+  plan.f3_bits_log2 = max_bits;
+  for (unsigned bits = min_bits; bits <= max_bits; ++bits) {
+    const double slots = static_cast<double>(1u << bits);
+    const double occupancy =
+        1.0 - std::pow(1.0 - 1.0 / slots, static_cast<double>(f3_keys));
+    const double expected = plan.f2_hit_rate * occupancy;
+    if (expected <= target_long_rate || bits == max_bits) {
+      plan.f3_bits_log2 = bits;
+      plan.f3_occupancy = occupancy;
+      plan.expected_long_rate = expected;
+      break;
+    }
+  }
+  return plan;
+}
+
+}  // namespace vpm::core

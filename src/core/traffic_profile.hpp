@@ -1,0 +1,57 @@
+// Traffic-aware filter planning — the paper's future-work direction made
+// concrete: "this poses interesting questions for the future in how to best
+// design the filters based on the expected traffic mix" (§V-B).
+//
+// A TrafficProfile records the 2-byte-window frequency distribution of a
+// traffic sample.  plan_filters() predicts, for a given pattern set, the
+// per-window probability that Filters 1/2 fire on that traffic (the exact
+// expected candidate rates, since F1/F2 are direct bitmaps), then sizes
+// Filter 3 so the expected long-candidate rate meets a target: Filter-3
+// false positives behave like uniform hashing, so its pass rate on non-
+// matching windows is approximately its bit occupancy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/filter_bank.hpp"
+#include "pattern/pattern_set.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::core {
+
+struct TrafficProfile {
+  std::array<std::uint64_t, 1 << 16> window2_counts{};
+  std::uint64_t total_windows = 0;
+
+  double frequency(std::uint32_t window2) const {
+    if (total_windows == 0) return 0.0;
+    return static_cast<double>(window2_counts[window2]) /
+           static_cast<double>(total_windows);
+  }
+};
+
+// Counts every sliding 2-byte window of the sample.
+TrafficProfile profile_traffic(util::ByteView sample);
+// Merges another sample into an existing profile (streaming profiling).
+void accumulate_profile(TrafficProfile& profile, util::ByteView sample);
+
+struct FilterPlan {
+  unsigned f3_bits_log2 = 16;
+  // Expected per-window probabilities on the profiled traffic:
+  double f1_hit_rate = 0.0;        // short-candidate rate (exact)
+  double f2_hit_rate = 0.0;        // long filter-2 pass rate (exact)
+  double f3_occupancy = 0.0;       // at the chosen size
+  double expected_long_rate = 0.0; // ~ f2_hit_rate * f3_occupancy + true matches
+};
+
+// Chooses the smallest Filter-3 size in [min_bits, max_bits] whose expected
+// long-candidate rate is below `target_long_rate` (falls back to max_bits
+// when unreachable).  The returned rates let operators see what the filters
+// will do on their traffic before deploying.
+FilterPlan plan_filters(const pattern::PatternSet& set, const TrafficProfile& profile,
+                        double target_long_rate = 0.01, unsigned min_bits = 12,
+                        unsigned max_bits = 20);
+
+}  // namespace vpm::core

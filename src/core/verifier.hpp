@@ -1,0 +1,46 @@
+// The verification round shared by S-PATCH and V-PATCH.
+//
+// "The verification round is as in DFC" (paper §IV-A2): candidate positions
+// from A_short go through the short compact table, candidates from A_long
+// through the long table.  Splitting verification into its own round keeps
+// the filter structures cache-resident during round one and avoids mixing
+// scalar verification into vector code during round two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dfc/compact_table.hpp"
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::core {
+
+class Verifier {
+ public:
+  explicit Verifier(const pattern::PatternSet& set, unsigned long_bucket_bits = 15)
+      : short_table_(set), long_table_(set, long_bucket_bits) {}
+
+  void verify_short(util::ByteView data, std::span<const std::uint32_t> positions,
+                    MatchSink& sink) const {
+    for (std::uint32_t pos : positions) short_table_.verify_at(data, pos, sink);
+  }
+
+  void verify_long(util::ByteView data, std::span<const std::uint32_t> positions,
+                   MatchSink& sink) const {
+    for (std::uint32_t pos : positions) long_table_.verify_at(data, pos, sink);
+  }
+
+  const dfc::ShortTable& short_table() const { return short_table_; }
+  const dfc::LongTable& long_table() const { return long_table_; }
+
+  std::size_t memory_bytes() const {
+    return short_table_.memory_bytes() + long_table_.memory_bytes();
+  }
+
+ private:
+  dfc::ShortTable short_table_;
+  dfc::LongTable long_table_;
+};
+
+}  // namespace vpm::core

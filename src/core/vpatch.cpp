@@ -1,0 +1,185 @@
+#include "core/vpatch.hpp"
+
+#include <algorithm>
+
+#include "simd/cpu_features.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::core {
+
+std::string_view isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::scalar: return "scalar";
+    case Isa::avx2: return "avx2";
+    case Isa::avx512: return "avx512";
+    case Isa::best: return "best";
+  }
+  return "?";
+}
+
+bool isa_supported(Isa isa) {
+  switch (isa) {
+    case Isa::scalar: return true;
+    case Isa::avx2: return simd::cpu().has_avx2_kernel();
+    case Isa::avx512: return simd::cpu().has_avx512_kernel();
+    case Isa::best: return true;
+  }
+  return false;
+}
+
+Isa resolve_isa(Isa requested) {
+  if (requested != Isa::best) return requested;
+  if (simd::cpu().has_avx512_kernel()) return Isa::avx512;
+  if (simd::cpu().has_avx2_kernel()) return Isa::avx2;
+  return Isa::scalar;
+}
+
+VpatchMatcher::VpatchMatcher(const pattern::PatternSet& set, VpatchConfig cfg)
+    : cfg_(cfg),
+      isa_(resolve_isa(cfg.isa)),
+      bank_(set, cfg.filters),
+      verifier_(set, cfg.long_bucket_bits) {
+  if (!isa_supported(isa_)) {
+    throw std::runtime_error("V-PATCH: requested ISA not supported on this CPU");
+  }
+}
+
+std::string_view VpatchMatcher::name() const {
+  switch (isa_) {
+    case Isa::avx512: return "V-PATCH-512";
+    case Isa::avx2: return "V-PATCH";
+    default: return "V-PATCH-scalar";
+  }
+}
+
+unsigned VpatchMatcher::vector_width() const {
+  switch (isa_) {
+    case Isa::avx512: return 16;
+    case Isa::avx2: return 8;
+    default: return 1;
+  }
+}
+
+std::size_t VpatchMatcher::run_kernel(const std::uint8_t* d, std::size_t begin,
+                                      std::size_t end, std::size_t n,
+                                      CandidateBuffers& buffers, ScanStats* stats) const {
+  switch (isa_) {
+    case Isa::avx2:
+      return vpatch_filter_avx2(d, begin, end, n, bank_, buffers, cfg_.kernel, stats);
+    case Isa::avx512:
+      return vpatch_filter_avx512(d, begin, end, n, bank_, buffers, cfg_.kernel, stats);
+    default:
+      return begin;  // no vector coverage; scalar loop takes the whole range
+  }
+}
+
+template <bool kWithStats>
+void VpatchMatcher::scan_impl(util::ByteView data, MatchSink& sink, ScanStats* stats) const {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  const std::uint8_t* d = data.data();
+  CandidateBuffers buffers;
+  buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
+
+  const std::size_t last_window_pos = n - 1;
+  for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {
+    const std::size_t end = std::min(chunk + cfg_.chunk_size, last_window_pos);
+    buffers.clear();
+
+    util::Timer timer;
+    if (chunk < end) {
+      // Vectorized main loop, then the scalar remainder of this chunk.
+      const std::size_t done = run_kernel(d, chunk, end, n, buffers, stats);
+      if (done < end) spatch_filter_scalar(d, done, end, n, bank_, buffers);
+    }
+    if (chunk + cfg_.chunk_size >= n) {
+      spatch_filter_tail(d, n, bank_, buffers);
+    }
+    if constexpr (kWithStats) {
+      stats->filter_seconds += timer.seconds();
+      stats->short_candidates += buffers.n_short;
+      stats->long_candidates += buffers.n_long;
+      timer.reset();
+    }
+
+    verifier_.verify_short(data, {buffers.short_pos.data(), buffers.n_short}, sink);
+    verifier_.verify_long(data, {buffers.long_pos.data(), buffers.n_long}, sink);
+    if constexpr (kWithStats) {
+      stats->verify_seconds += timer.seconds();
+    }
+  }
+}
+
+void VpatchMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  scan_impl<false>(data, sink, nullptr);
+}
+
+void VpatchMatcher::scan_with_stats(util::ByteView data, MatchSink& sink,
+                                    ScanStats& stats) const {
+  stats.vector_width = vector_width();
+  struct Tee final : MatchSink {
+    MatchSink* inner = nullptr;
+    std::uint64_t n = 0;
+    void on_match(const Match& m) override {
+      ++n;
+      inner->on_match(m);
+    }
+  } tee;
+  tee.inner = &sink;
+  scan_impl<true>(data, tee, &stats);
+  stats.matches += tee.n;
+}
+
+VpatchMatcher::FilterOnlyResult VpatchMatcher::filter_only(util::ByteView data,
+                                                           bool with_stores) const {
+  FilterOnlyResult result;
+  const std::size_t n = data.size();
+  if (n == 0) return result;
+  const std::uint8_t* d = data.data();
+
+  if (!with_stores) {
+    NoStoreCounts counts;
+    std::size_t done = 0;
+    const std::size_t end = n - 1;
+    switch (isa_) {
+      case Isa::avx2:
+        done = vpatch_filter_nostore_avx2(d, 0, end, n, bank_, counts);
+        break;
+      case Isa::avx512:
+        done = vpatch_filter_nostore_avx512(d, 0, end, n, bank_, counts);
+        break;
+      default:
+        break;
+    }
+    // Scalar remainder, counting only.
+    for (std::size_t i = done; i < end; ++i) {
+      const std::uint32_t window = util::load_u16(d + i);
+      if (bank_.test_f1(window)) ++counts.short_hits;
+      if (bank_.test_f2(window) && i + 4 <= n && bank_.test_f3(util::load_u32(d + i))) {
+        ++counts.long_hits;
+      }
+    }
+    if (bank_.test_f1(d[n - 1])) ++counts.short_hits;
+    result.short_candidates = counts.short_hits;
+    result.long_candidates = counts.long_hits;
+    return result;
+  }
+
+  CandidateBuffers buffers;
+  buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
+  const std::size_t last_window_pos = n - 1;
+  for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {
+    const std::size_t end = std::min(chunk + cfg_.chunk_size, last_window_pos);
+    buffers.clear();
+    if (chunk < end) {
+      const std::size_t done = run_kernel(d, chunk, end, n, buffers, nullptr);
+      if (done < end) spatch_filter_scalar(d, done, end, n, bank_, buffers);
+    }
+    if (chunk + cfg_.chunk_size >= n) spatch_filter_tail(d, n, bank_, buffers);
+    result.short_candidates += buffers.n_short;
+    result.long_candidates += buffers.n_long;
+  }
+  return result;
+}
+
+}  // namespace vpm::core

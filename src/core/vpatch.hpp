@@ -1,0 +1,80 @@
+// V-PATCH — the vectorized pattern matcher (paper §IV-B).
+//
+// Round one runs the SIMD filtering kernel (AVX-512 W=16, AVX2 W=8, or the
+// scalar S-PATCH loop as fallback/tail); round two is the shared scalar
+// verification over the stored candidate positions.  The kernel choice, the
+// unroll factor, filter merging and speculative-Filter-3 evaluation are all
+// configurable so the ablation benches can isolate each design decision.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/spatch.hpp"
+#include "core/vpatch_kernels.hpp"
+
+namespace vpm::core {
+
+enum class Isa : std::uint8_t {
+  scalar,  // no vector kernel: equivalent to S-PATCH with V-PATCH plumbing
+  avx2,    // W = 8 (the paper's Haswell configuration)
+  avx512,  // W = 16 (the paper's Xeon-Phi configuration, on AVX-512 hosts)
+  best,    // widest available at runtime
+};
+
+std::string_view isa_name(Isa isa);
+// Resolves `best` to the widest kernel the CPU supports; returns `scalar`
+// when no vector kernel is available.
+Isa resolve_isa(Isa requested);
+bool isa_supported(Isa isa);
+
+struct VpatchConfig {
+  FilterBankConfig filters{};
+  unsigned long_bucket_bits = 15;
+  std::size_t chunk_size = 32 * 1024;
+  Isa isa = Isa::best;
+  KernelOptions kernel{};
+};
+
+class VpatchMatcher final : public Matcher {
+ public:
+  // Throws std::runtime_error if cfg.isa names a kernel the CPU lacks.
+  explicit VpatchMatcher(const pattern::PatternSet& set, VpatchConfig cfg = {});
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override;
+  std::size_t memory_bytes() const override {
+    return bank_.memory_bytes() + verifier_.memory_bytes();
+  }
+
+  void scan_with_stats(util::ByteView data, MatchSink& sink, ScanStats& stats) const;
+
+  // Round one in isolation (Fig. 6): with_stores=true exercises the real
+  // kernel including candidate stores; false uses the no-store variant.
+  struct FilterOnlyResult {
+    std::uint64_t short_candidates = 0;
+    std::uint64_t long_candidates = 0;
+  };
+  FilterOnlyResult filter_only(util::ByteView data, bool with_stores) const;
+
+  Isa isa() const { return isa_; }
+  unsigned vector_width() const;
+  const FilterBank& filter_bank() const { return bank_; }
+  const VpatchConfig& config() const { return cfg_; }
+
+ private:
+  template <bool kWithStats>
+  void scan_impl(util::ByteView data, MatchSink& sink, ScanStats* stats) const;
+
+  // Dispatches one chunk's round-one to the configured kernel; returns the
+  // first position the vector loop did not cover.
+  std::size_t run_kernel(const std::uint8_t* d, std::size_t begin, std::size_t end,
+                         std::size_t n, CandidateBuffers& buffers, ScanStats* stats) const;
+
+  VpatchConfig cfg_;
+  Isa isa_;
+  FilterBank bank_;
+  Verifier verifier_;
+};
+
+}  // namespace vpm::core

@@ -1,0 +1,184 @@
+// V-PATCH filtering kernel, AVX2 (W = 8) — the paper's Haswell target.
+#include "core/vpatch_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <bit>
+
+#include "simd/avx2_ops.hpp"
+
+namespace vpm::core {
+
+namespace {
+
+using namespace simd::avx2;
+
+struct BlockMasks {
+  std::uint32_t short_mask = 0;  // lanes that passed Filter 1
+  std::uint32_t long_mask = 0;   // lanes that passed Filters 2 AND 3
+  std::uint32_t f2_mask = 0;     // lanes that passed Filter 2 (stats)
+};
+
+// One 8-position filtering block at base position i (Algorithm 2 body).
+template <bool kMerged, bool kSpecF3>
+inline BlockMasks process_block(const std::uint8_t* d, std::size_t i, const FilterBank& bank,
+                                __m256i shuffle2, __m256i shuffle4, unsigned f3_bits) {
+  BlockMasks r;
+  const __m256i win2 = windows2(d + i, shuffle2);
+
+  __m256i word_f1, word_f2;
+  if constexpr (kMerged) {
+    // One gather serves both filters: byte offset 2*(window >> 3) into the
+    // interleaved layout; F1 byte in bits 0..7, F2 byte in bits 8..15.
+    const __m256i off = _mm256_slli_epi32(_mm256_srli_epi32(win2, 3), 1);
+    const __m256i word = gather_u32(bank.merged_data(), off);
+    word_f1 = word;
+    word_f2 = _mm256_srli_epi32(word, 8);
+  } else {
+    const __m256i off = _mm256_srli_epi32(win2, 3);
+    word_f1 = gather_u32(bank.f1_data(), off);
+    word_f2 = gather_u32(bank.f2_data(), off);
+  }
+  r.short_mask = filter_testbits(word_f1, win2);
+  r.f2_mask = filter_testbits(word_f2, win2);
+
+  if (r.f2_mask != 0) {
+    if constexpr (kSpecF3) {
+      // Speculative: evaluate Filter 3 on ALL lanes, mask by Filter 2.
+      const __m256i win4 = windows4(d + i, shuffle4);
+      const __m256i keys = hash_mul(win4, f3_bits);
+      const __m256i off3 = _mm256_srli_epi32(keys, 3);
+      const __m256i word3 = gather_u32(bank.f3_data(), off3);
+      r.long_mask = filter_testbits(word3, keys) & r.f2_mask;
+    } else {
+      // Ablation: per-lane scalar probes for only the useful lanes.
+      std::uint32_t m = r.f2_mask;
+      while (m != 0) {
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        const std::uint32_t w4 = util::load_u32(d + i + lane);
+        if (bank.test_f3(w4)) r.long_mask |= 1u << lane;
+      }
+    }
+  }
+  return r;
+}
+
+// Store policies: the real engine appends positions; the Fig. 6 no-store
+// variant only counts.
+struct StoreToBuffers {
+  CandidateBuffers* out;
+  inline void on_block(std::size_t i, const BlockMasks& m) {
+    if (m.short_mask != 0) {
+      out->n_short += leftpack_positions(static_cast<std::uint32_t>(i), m.short_mask,
+                                         out->short_pos.data() + out->n_short);
+    }
+    if (m.long_mask != 0) {
+      out->n_long += leftpack_positions(static_cast<std::uint32_t>(i), m.long_mask,
+                                        out->long_pos.data() + out->n_long);
+    }
+  }
+};
+
+struct CountOnly {
+  std::uint64_t shorts = 0;
+  std::uint64_t longs = 0;
+  inline void on_block(std::size_t, const BlockMasks& m) {
+    shorts += std::popcount(m.short_mask);
+    longs += std::popcount(m.long_mask);
+  }
+};
+
+template <bool kMerged, bool kSpecF3, typename Store>
+std::size_t run_filter(const std::uint8_t* d, std::size_t begin, std::size_t end,
+                       std::size_t total_len, const FilterBank& bank, bool unroll2,
+                       Store& store, ScanStats* stats) {
+  const __m256i shuffle2 = window_shuffle_mask(2);
+  const __m256i shuffle4 = window_shuffle_mask(4);
+  const unsigned f3_bits = bank.f3_bits_log2();
+
+  std::uint64_t f3_blocks = 0;
+  std::uint64_t f3_lanes = 0;
+  std::size_t i = begin;
+
+  if (unroll2) {
+    // Two independent 8-lane blocks per iteration: the second block's
+    // computation overlaps the first block's gather latency (§IV-B).
+    while (i + 24 <= total_len && i + 16 <= end) {
+      const BlockMasks a =
+          process_block<kMerged, kSpecF3>(d, i, bank, shuffle2, shuffle4, f3_bits);
+      const BlockMasks b =
+          process_block<kMerged, kSpecF3>(d, i + 8, bank, shuffle2, shuffle4, f3_bits);
+      store.on_block(i, a);
+      store.on_block(i + 8, b);
+      if (stats) {
+        f3_blocks += (a.f2_mask != 0) + (b.f2_mask != 0);
+        f3_lanes += std::popcount(a.f2_mask) + std::popcount(b.f2_mask);
+      }
+      i += 16;
+    }
+  }
+  while (i + 16 <= total_len && i + 8 <= end) {
+    const BlockMasks a = process_block<kMerged, kSpecF3>(d, i, bank, shuffle2, shuffle4, f3_bits);
+    store.on_block(i, a);
+    if (stats) {
+      f3_blocks += (a.f2_mask != 0);
+      f3_lanes += std::popcount(a.f2_mask);
+    }
+    i += 8;
+  }
+
+  if (stats) {
+    stats->f3_blocks += f3_blocks;
+    stats->f3_useful_lanes += f3_lanes;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::size_t vpatch_filter_avx2(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                               std::size_t total_len, const FilterBank& bank,
+                               CandidateBuffers& out, const KernelOptions& opt,
+                               ScanStats* stats) {
+  StoreToBuffers store{&out};
+  if (opt.merged_filters) {
+    if (opt.speculative_f3)
+      return run_filter<true, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+    return run_filter<true, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+  }
+  if (opt.speculative_f3)
+    return run_filter<false, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+  return run_filter<false, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+}
+
+std::size_t vpatch_filter_nostore_avx2(const std::uint8_t* data, std::size_t begin,
+                                       std::size_t end, std::size_t total_len,
+                                       const FilterBank& bank, NoStoreCounts& counts) {
+  CountOnly store;
+  const std::size_t next =
+      run_filter<true, true>(data, begin, end, total_len, bank, /*unroll2=*/true, store, nullptr);
+  counts.short_hits += store.shorts;
+  counts.long_hits += store.longs;
+  return next;
+}
+
+}  // namespace vpm::core
+
+#else  // !__AVX2__
+
+#include <cstdlib>
+
+namespace vpm::core {
+std::size_t vpatch_filter_avx2(const std::uint8_t*, std::size_t, std::size_t, std::size_t,
+                               const FilterBank&, CandidateBuffers&, const KernelOptions&,
+                               ScanStats*) {
+  std::abort();
+}
+std::size_t vpatch_filter_nostore_avx2(const std::uint8_t*, std::size_t, std::size_t,
+                                       std::size_t, const FilterBank&, NoStoreCounts&) {
+  std::abort();
+}
+}  // namespace vpm::core
+
+#endif

@@ -1,0 +1,179 @@
+// V-PATCH filtering kernel, AVX-512 (W = 16) — the wide-vector stand-in for
+// the paper's Xeon-Phi experiments (Fig. 7): twice the lanes per gather,
+// native compress stores instead of the permutation-table left-pack.
+#include "core/vpatch_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <bit>
+
+#include "simd/avx512_ops.hpp"
+
+namespace vpm::core {
+
+namespace {
+
+using namespace simd::avx512;
+
+struct BlockMasks {
+  std::uint32_t short_mask = 0;
+  std::uint32_t long_mask = 0;
+  std::uint32_t f2_mask = 0;
+};
+
+// One 16-position filtering block at base position i.  Raw loads read 32
+// bytes (two 16-byte halves at i and i+8).
+template <bool kMerged, bool kSpecF3>
+inline BlockMasks process_block(const std::uint8_t* d, std::size_t i, const FilterBank& bank,
+                                __m256i shuffle2, __m256i shuffle4, unsigned f3_bits) {
+  BlockMasks r;
+  const __m512i win2 = windows2(d + i, shuffle2);
+
+  __m512i word_f1, word_f2;
+  if constexpr (kMerged) {
+    const __m512i off = _mm512_slli_epi32(_mm512_srli_epi32(win2, 3), 1);
+    const __m512i word = gather_u32(bank.merged_data(), off);
+    word_f1 = word;
+    word_f2 = _mm512_srli_epi32(word, 8);
+  } else {
+    const __m512i off = _mm512_srli_epi32(win2, 3);
+    word_f1 = gather_u32(bank.f1_data(), off);
+    word_f2 = gather_u32(bank.f2_data(), off);
+  }
+  r.short_mask = filter_testbits(word_f1, win2);
+  r.f2_mask = filter_testbits(word_f2, win2);
+
+  if (r.f2_mask != 0) {
+    if constexpr (kSpecF3) {
+      const __m512i win4 = windows4(d + i, shuffle4);
+      const __m512i keys = hash_mul(win4, f3_bits);
+      const __m512i off3 = _mm512_srli_epi32(keys, 3);
+      const __m512i word3 = gather_u32(bank.f3_data(), off3);
+      r.long_mask = filter_testbits(word3, keys) & r.f2_mask;
+    } else {
+      std::uint32_t m = r.f2_mask;
+      while (m != 0) {
+        const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        if (bank.test_f3(util::load_u32(d + i + lane))) r.long_mask |= 1u << lane;
+      }
+    }
+  }
+  return r;
+}
+
+struct StoreToBuffers {
+  CandidateBuffers* out;
+  inline void on_block(std::size_t i, const BlockMasks& m) {
+    if (m.short_mask != 0) {
+      out->n_short += leftpack_positions(static_cast<std::uint32_t>(i), m.short_mask,
+                                         out->short_pos.data() + out->n_short);
+    }
+    if (m.long_mask != 0) {
+      out->n_long += leftpack_positions(static_cast<std::uint32_t>(i), m.long_mask,
+                                        out->long_pos.data() + out->n_long);
+    }
+  }
+};
+
+struct CountOnly {
+  std::uint64_t shorts = 0;
+  std::uint64_t longs = 0;
+  inline void on_block(std::size_t, const BlockMasks& m) {
+    shorts += std::popcount(m.short_mask);
+    longs += std::popcount(m.long_mask);
+  }
+};
+
+template <bool kMerged, bool kSpecF3, typename Store>
+std::size_t run_filter(const std::uint8_t* d, std::size_t begin, std::size_t end,
+                       std::size_t total_len, const FilterBank& bank, bool unroll2,
+                       Store& store, ScanStats* stats) {
+  const __m256i shuffle2 = simd::avx2::window_shuffle_mask(2);
+  const __m256i shuffle4 = simd::avx2::window_shuffle_mask(4);
+  const unsigned f3_bits = bank.f3_bits_log2();
+
+  std::uint64_t f3_blocks = 0;
+  std::uint64_t f3_lanes = 0;
+  std::size_t i = begin;
+
+  // Per-block raw reads cover bytes [i, i+32); unrolled, [i, i+48).
+  if (unroll2) {
+    while (i + 48 <= total_len && i + 32 <= end) {
+      const BlockMasks a =
+          process_block<kMerged, kSpecF3>(d, i, bank, shuffle2, shuffle4, f3_bits);
+      const BlockMasks b =
+          process_block<kMerged, kSpecF3>(d, i + 16, bank, shuffle2, shuffle4, f3_bits);
+      store.on_block(i, a);
+      store.on_block(i + 16, b);
+      if (stats) {
+        f3_blocks += (a.f2_mask != 0) + (b.f2_mask != 0);
+        f3_lanes += std::popcount(a.f2_mask) + std::popcount(b.f2_mask);
+      }
+      i += 32;
+    }
+  }
+  while (i + 32 <= total_len && i + 16 <= end) {
+    const BlockMasks a = process_block<kMerged, kSpecF3>(d, i, bank, shuffle2, shuffle4, f3_bits);
+    store.on_block(i, a);
+    if (stats) {
+      f3_blocks += (a.f2_mask != 0);
+      f3_lanes += std::popcount(a.f2_mask);
+    }
+    i += 16;
+  }
+
+  if (stats) {
+    stats->f3_blocks += f3_blocks;
+    stats->f3_useful_lanes += f3_lanes;
+  }
+  return i;
+}
+
+}  // namespace
+
+std::size_t vpatch_filter_avx512(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                                 std::size_t total_len, const FilterBank& bank,
+                                 CandidateBuffers& out, const KernelOptions& opt,
+                                 ScanStats* stats) {
+  StoreToBuffers store{&out};
+  if (opt.merged_filters) {
+    if (opt.speculative_f3)
+      return run_filter<true, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+    return run_filter<true, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+  }
+  if (opt.speculative_f3)
+    return run_filter<false, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+  return run_filter<false, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+}
+
+std::size_t vpatch_filter_nostore_avx512(const std::uint8_t* data, std::size_t begin,
+                                         std::size_t end, std::size_t total_len,
+                                         const FilterBank& bank, NoStoreCounts& counts) {
+  CountOnly store;
+  const std::size_t next =
+      run_filter<true, true>(data, begin, end, total_len, bank, /*unroll2=*/true, store, nullptr);
+  counts.short_hits += store.shorts;
+  counts.long_hits += store.longs;
+  return next;
+}
+
+}  // namespace vpm::core
+
+#else  // no AVX-512 toolchain support
+
+#include <cstdlib>
+
+namespace vpm::core {
+std::size_t vpatch_filter_avx512(const std::uint8_t*, std::size_t, std::size_t, std::size_t,
+                                 const FilterBank&, CandidateBuffers&, const KernelOptions&,
+                                 ScanStats*) {
+  std::abort();
+}
+std::size_t vpatch_filter_nostore_avx512(const std::uint8_t*, std::size_t, std::size_t,
+                                         std::size_t, const FilterBank&, NoStoreCounts&) {
+  std::abort();
+}
+}  // namespace vpm::core
+
+#endif

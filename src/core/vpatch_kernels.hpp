@@ -1,0 +1,56 @@
+// ISA-specific V-PATCH filtering kernels (Algorithm 2), linked from
+// translation units compiled with the matching -m flags.
+//
+// Contract shared by all kernels:
+//   * filter positions [begin, end) of data (end <= total_len - 1, i.e.
+//     every position has a complete 2-byte window);
+//   * append hit positions to out.short_pos / out.long_pos (left-pack stores
+//     may write a full vector of slack past the logical end);
+//   * stop at the last position the vector loop can safely cover (raw loads
+//     read kLoadBytes bytes) and RETURN the first unfiltered position — the
+//     caller finishes with the scalar loop and the tail probe;
+//   * when stats is non-null, record speculative Filter-3 lane utilization.
+#pragma once
+
+#include <cstdint>
+
+#include "core/candidates.hpp"
+#include "core/filter_bank.hpp"
+#include "core/scan_stats.hpp"
+
+namespace vpm::core {
+
+// Ablation knobs for the design choices called out in DESIGN.md §5.  The
+// defaults are the paper's configuration.
+struct KernelOptions {
+  bool unroll2 = true;          // 2x manual unroll (two gather chains in flight)
+  bool merged_filters = true;   // one gather for F1+F2 vs two separate gathers
+  bool speculative_f3 = true;   // all-lane F3 + mask vs per-lane scalar probes
+};
+
+// AVX2, W = 8. Requires simd::cpu().has_avx2_kernel().
+std::size_t vpatch_filter_avx2(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                               std::size_t total_len, const FilterBank& bank,
+                               CandidateBuffers& out, const KernelOptions& opt,
+                               ScanStats* stats);
+
+// AVX-512, W = 16. Requires simd::cpu().has_avx512_kernel().
+std::size_t vpatch_filter_avx512(const std::uint8_t* data, std::size_t begin, std::size_t end,
+                                 std::size_t total_len, const FilterBank& bank,
+                                 CandidateBuffers& out, const KernelOptions& opt,
+                                 ScanStats* stats);
+
+// Filtering with the candidate stores suppressed — the "V-PATCH-filtering"
+// series of Fig. 6 (counts survive; the position writes do not happen).
+struct NoStoreCounts {
+  std::uint64_t short_hits = 0;
+  std::uint64_t long_hits = 0;
+};
+std::size_t vpatch_filter_nostore_avx2(const std::uint8_t* data, std::size_t begin,
+                                       std::size_t end, std::size_t total_len,
+                                       const FilterBank& bank, NoStoreCounts& counts);
+std::size_t vpatch_filter_nostore_avx512(const std::uint8_t* data, std::size_t begin,
+                                         std::size_t end, std::size_t total_len,
+                                         const FilterBank& bank, NoStoreCounts& counts);
+
+}  // namespace vpm::core

@@ -1,0 +1,118 @@
+#include "dfc/compact_table.hpp"
+
+#include <algorithm>
+
+#include "pattern/prefix.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::dfc {
+
+ShortTable::ShortTable(const pattern::PatternSet& set) {
+  struct Keyed {
+    std::uint8_t bucket;
+    Entry entry;
+  };
+  std::vector<Keyed> keyed;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() >= pattern::kShortLongBoundary) continue;
+    ++pattern_count_;
+    for (std::uint32_t v : pattern::prefix_variants({p.bytes.data(), 1}, p.nocase)) {
+      Keyed k;
+      k.bucket = static_cast<std::uint8_t>(v);
+      k.entry.len = static_cast<std::uint8_t>(p.size());
+      k.entry.id = p.id;
+      k.entry.nocase = p.nocase;
+      std::copy(p.bytes.begin(), p.bytes.end(), k.entry.bytes);
+      // Store with the variant first byte so the raw-byte quick path works.
+      k.entry.bytes[0] = k.bucket;
+      keyed.push_back(k);
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.bucket < b.bucket; });
+  offsets_.assign(257, 0);
+  entries_.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    ++offsets_[k.bucket + 1];
+    entries_.push_back(k.entry);
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+}
+
+void ShortTable::verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
+  if (pos >= data.size()) return;
+  const std::uint8_t first = data[pos];
+  const std::size_t remaining = data.size() - pos;
+  for (std::uint32_t e = offsets_[first]; e < offsets_[first + 1]; ++e) {
+    const Entry& entry = entries_[e];
+    if (entry.len > remaining) continue;
+    if (util::bytes_equal(data.data() + pos, entry.bytes, entry.len, entry.nocase)) {
+      sink.on_match({entry.id, pos});
+    }
+  }
+}
+
+std::size_t ShortTable::memory_bytes() const {
+  return entries_.size() * sizeof(Entry) + offsets_.size() * sizeof(std::uint32_t);
+}
+
+LongTable::LongTable(const pattern::PatternSet& set, unsigned bucket_bits_log2)
+    : bucket_bits_log2_(bucket_bits_log2) {
+  struct Keyed {
+    std::uint32_t bucket;
+    Entry entry;
+  };
+  std::vector<Keyed> keyed;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() < pattern::kShortLongBoundary) continue;
+    ++pattern_count_;
+    const std::uint32_t offset = arena_.add(p.bytes);
+    for (std::uint32_t v : pattern::prefix_variants({p.bytes.data(), 4}, p.nocase)) {
+      Keyed k;
+      k.bucket = util::multiplicative_hash(v, bucket_bits_log2_);
+      k.entry = Entry{v, p.id, static_cast<std::uint32_t>(p.size()), offset, p.nocase};
+      keyed.push_back(k);
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.bucket < b.bucket; });
+  offsets_.assign((1u << bucket_bits_log2_) + 1, 0);
+  entries_.reserve(keyed.size());
+  for (const Keyed& k : keyed) {
+    ++offsets_[k.bucket + 1];
+    entries_.push_back(k.entry);
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+}
+
+void LongTable::verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
+  if (pos + 4 > data.size()) return;  // no long pattern can fit
+  const std::uint32_t window = util::load_u32(data.data() + pos);
+  const std::uint32_t bucket = util::multiplicative_hash(window, bucket_bits_log2_);
+  const std::size_t remaining = data.size() - pos;
+  for (std::uint32_t e = offsets_[bucket]; e < offsets_[bucket + 1]; ++e) {
+    const Entry& entry = entries_[e];
+    if (entry.prefix != window || entry.len > remaining) continue;
+    // Prefix (4 bytes) already matched exactly; compare the remainder with
+    // the entry's case mode.
+    if (util::bytes_equal(data.data() + pos + 4, arena_.at(entry.offset) + 4, entry.len - 4,
+                          entry.nocase)) {
+      sink.on_match({entry.id, pos});
+    }
+  }
+}
+
+double LongTable::mean_bucket_entries() const {
+  std::size_t used = 0;
+  for (std::size_t b = 0; b + 1 < offsets_.size(); ++b) {
+    if (offsets_[b + 1] > offsets_[b]) ++used;
+  }
+  return used == 0 ? 0.0 : static_cast<double>(entries_.size()) / static_cast<double>(used);
+}
+
+std::size_t LongTable::memory_bytes() const {
+  return entries_.size() * sizeof(Entry) + offsets_.size() * sizeof(std::uint32_t) +
+         arena_.size();
+}
+
+}  // namespace vpm::dfc

@@ -1,0 +1,83 @@
+// Compact hash tables for the verification phase.
+//
+// "Specially designed compact hash tables that are different for different
+// pattern lengths ... Each hash table is indexed with as many bytes as the
+// shortest pattern that the hash table contains" (paper §IV-A2, after Choi
+// et al.).  Two families, split at the S-PATCH 4-byte boundary:
+//   * ShortTable  — patterns of 1..3 bytes, indexed by the first input byte;
+//   * LongTable   — patterns of >= 4 bytes, indexed by a multiplicative hash
+//                   of the first four input bytes, with the 4-byte prefix
+//                   stored inline for an O(1) reject before the full compare.
+// Both use CSR (offset-array + flat entry array) bucket storage and keep all
+// pattern bytes in one arena, so verification touches at most two contiguous
+// allocations.  Case-insensitive patterns insert one entry per case variant
+// of the indexed prefix; variants are distinct byte strings, so an input
+// window matches exactly one of them and nothing is double-reported.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+#include "util/arena.hpp"
+
+namespace vpm::dfc {
+
+class ShortTable {
+ public:
+  // Builds from the short family (patterns with size() < 4) of `set`;
+  // other patterns are ignored.
+  explicit ShortTable(const pattern::PatternSet& set);
+
+  // Reports every short pattern matching at data[pos..].
+  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const;
+
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t pattern_count() const { return pattern_count_; }
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    std::uint8_t bytes[3];  // pattern bytes, raw
+    std::uint8_t len = 0;
+    std::uint32_t id = 0;
+    bool nocase = false;
+  };
+  std::vector<Entry> entries_;           // grouped by first byte (raw; nocase
+                                         // patterns appear under both cases)
+  std::vector<std::uint32_t> offsets_;   // 257 CSR offsets
+  std::size_t pattern_count_ = 0;
+};
+
+class LongTable {
+ public:
+  // Builds from the long family (size() >= 4) of `set`. bucket_bits_log2
+  // controls the bucket count (2^bits); the default keeps mean bucket
+  // occupancy around one entry for 20 K patterns.
+  explicit LongTable(const pattern::PatternSet& set, unsigned bucket_bits_log2 = 15);
+
+  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const;
+
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t pattern_count() const { return pattern_count_; }
+  unsigned bucket_bits_log2() const { return bucket_bits_log2_; }
+  double mean_bucket_entries() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    std::uint32_t prefix = 0;  // the case-variant 4-byte prefix, little-endian
+    std::uint32_t id = 0;
+    std::uint32_t len = 0;
+    std::uint32_t offset = 0;  // pattern bytes in the arena (raw)
+    bool nocase = false;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> offsets_;  // 2^bits + 1 CSR offsets
+  util::ByteArena arena_;
+  unsigned bucket_bits_log2_;
+  std::size_t pattern_count_ = 0;
+};
+
+}  // namespace vpm::dfc

@@ -1,0 +1,40 @@
+// DFC (Direct Filter Classification) — the scalar baseline of Choi et al.
+// as described in the paper's §II-B.
+//
+// Single pass, filtering and verification interleaved per input position:
+// a 2-byte window probes the initial filter over all patterns; on a hit, the
+// two per-length-family filters (same index) decide which compact hash
+// tables to verify against, immediately.  The interleaving is precisely what
+// limits Vector-DFC and what S-PATCH's two-round split removes.
+#pragma once
+
+#include "dfc/compact_table.hpp"
+#include "dfc/direct_filter.hpp"
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::dfc {
+
+class DfcMatcher final : public Matcher {
+ public:
+  explicit DfcMatcher(const pattern::PatternSet& set);
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override { return "DFC"; }
+  std::size_t memory_bytes() const override;
+
+  const DirectFilter2B& initial_filter() const { return df_all_; }
+  const DirectFilter2B& short_filter() const { return df_short_; }
+  const DirectFilter2B& long_filter() const { return df_long_; }
+
+ private:
+  friend class VectorDfcMatcher;
+
+  DirectFilter2B df_all_;    // first two bytes of every pattern
+  DirectFilter2B df_short_;  // patterns of 1..3 bytes
+  DirectFilter2B df_long_;   // patterns of >= 4 bytes
+  ShortTable short_table_;
+  LongTable long_table_;
+};
+
+}  // namespace vpm::dfc

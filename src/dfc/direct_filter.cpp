@@ -1,0 +1,32 @@
+#include "dfc/direct_filter.hpp"
+
+#include <cassert>
+
+#include "pattern/prefix.hpp"
+
+namespace vpm::dfc {
+
+void DirectFilter2B::add_pattern_prefix(const pattern::Pattern& p) {
+  assert(!p.bytes.empty());
+  if (p.size() == 1) {
+    const std::uint8_t b = p.bytes[0];
+    for (std::uint32_t first : pattern::prefix_variants({&b, 1}, p.nocase)) {
+      for (std::uint32_t second = 0; second < 256; ++second) {
+        bits_.set(first | (second << 8));
+      }
+    }
+    return;
+  }
+  for (std::uint32_t v : pattern::prefix_variants({p.bytes.data(), 2}, p.nocase)) {
+    bits_.set(v);
+  }
+}
+
+void HashedFilter4B::add_pattern_prefix(const pattern::Pattern& p) {
+  assert(p.size() >= 4);
+  for (std::uint32_t v : pattern::prefix_variants({p.bytes.data(), 4}, p.nocase)) {
+    bits_.set(util::multiplicative_hash(v, bits_log2_));
+  }
+}
+
+}  // namespace vpm::dfc

@@ -1,0 +1,58 @@
+// Direct filters: the cache-resident bitmaps at the heart of DFC and
+// S-PATCH/V-PATCH.
+//
+// DirectFilter2B is "a bit-array that summarizes only a specific part of each
+// pattern, e.g. its first two bytes, having one bit for every possible
+// combination of two characters" (paper §II-B): 2^16 bits = 8 KB, L1-resident.
+// HashedFilter4B is the S-PATCH third filter: a bitmap indexed by a
+// multiplicative hash of a 4-byte window, size/collision trade-off tunable.
+#pragma once
+
+#include <cstdint>
+
+#include "pattern/pattern.hpp"
+#include "util/bitarray.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::dfc {
+
+class DirectFilter2B {
+ public:
+  static constexpr std::size_t kBits = 1u << 16;
+
+  DirectFilter2B() : bits_(kBits) {}
+
+  // Marks a pattern's 2-byte prefix (all case variants when nocase).
+  // 1-byte patterns wildcard the second byte: every (p0, x) combination is
+  // set, which also makes the explicit zero-padded tail window test correct
+  // at the last input position.
+  void add_pattern_prefix(const pattern::Pattern& p);
+
+  bool test(std::uint32_t window2) const { return bits_.test(window2); }
+  const util::BitArray& bits() const { return bits_; }
+  double occupancy() const { return bits_.occupancy(); }
+
+ private:
+  util::BitArray bits_;
+};
+
+class HashedFilter4B {
+ public:
+  explicit HashedFilter4B(unsigned bits_log2 = 16) : bits_log2_(bits_log2), bits_(1u << bits_log2) {}
+
+  // Marks the hash of a pattern's 4-byte prefix (all case variants).
+  void add_pattern_prefix(const pattern::Pattern& p);
+
+  bool test(std::uint32_t window4) const {
+    return bits_.test(util::multiplicative_hash(window4, bits_log2_));
+  }
+  unsigned bits_log2() const { return bits_log2_; }
+  const util::BitArray& bits() const { return bits_; }
+  double occupancy() const { return bits_.occupancy(); }
+
+ private:
+  unsigned bits_log2_;
+  util::BitArray bits_;
+};
+
+}  // namespace vpm::dfc

@@ -1,0 +1,34 @@
+// Vector-DFC — "a direct vectorization of DFC done by us" (paper §V).
+//
+// Vectorizes only DFC's filter probes (AVX2 gather over the merged
+// short/long filters) but keeps the original single-pass structure: each
+// vector block's hit lanes are verified immediately with scalar code.  The
+// resulting scalar/vector mixing is why the paper measures only marginal
+// gains for this variant, motivating S-PATCH's two-round redesign.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dfc/dfc.hpp"
+#include "match/matcher.hpp"
+
+namespace vpm::dfc {
+
+class VectorDfcMatcher final : public Matcher {
+ public:
+  // Throws std::runtime_error if the host lacks AVX2.
+  explicit VectorDfcMatcher(const pattern::PatternSet& set);
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override { return "Vector-DFC"; }
+  std::size_t memory_bytes() const override;
+
+ private:
+  DfcMatcher scalar_;
+  // df_short_/df_long_ byte-interleaved for one-gather probing.
+  std::vector<std::uint8_t> merged_;
+};
+
+// Defined in vector_dfc.cpp (compiled with -mavx2): the vectorized scan body.
+}  // namespace vpm::dfc

@@ -1,0 +1,19 @@
+#include "ids/alert.hpp"
+
+namespace vpm::ids {
+
+std::string format_alert(const Alert& alert, const pattern::PatternSet& set) {
+  std::string out = "flow=" + std::to_string(alert.flow_id);
+  out += " off=" + std::to_string(alert.stream_offset);
+  out += " group=";
+  out += group_name(alert.group);
+  out += " pattern=" + std::to_string(alert.pattern_id);
+  if (alert.pattern_id < set.size()) {
+    out += " '";
+    out += set[alert.pattern_id].printable();
+    out += "'";
+  }
+  return out;
+}
+
+}  // namespace vpm::ids

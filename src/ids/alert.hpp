@@ -1,0 +1,24 @@
+// Alert records produced by the IDS engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::ids {
+
+struct Alert {
+  std::uint64_t flow_id = 0;
+  std::uint32_t pattern_id = 0;
+  std::uint64_t stream_offset = 0;  // match start within the flow's byte stream
+  pattern::Group group = pattern::Group::generic;
+
+  friend bool operator==(const Alert&, const Alert&) = default;
+};
+
+// Renders "flow=3 off=128 group=http pattern=17 'GET /'" style lines.
+std::string format_alert(const Alert& alert, const pattern::PatternSet& set);
+
+}  // namespace vpm::ids

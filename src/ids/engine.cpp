@@ -1,0 +1,47 @@
+#include "ids/engine.hpp"
+
+namespace vpm::ids {
+
+IdsEngine::IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg)
+    : rules_(rules, cfg.algorithm) {}
+
+void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+                        std::vector<Alert>& out) {
+  auto it = flows_.find(flow_id);
+  if (it == flows_.end()) {
+    it = flows_
+             .emplace(flow_id,
+                      FlowState{protocol, StreamScanner(rules_.matcher_for(protocol),
+                                                        rules_.max_pattern_length(protocol),
+                                                        rules_.pattern_lengths(protocol))})
+             .first;
+    ++counters_.flows;
+  }
+  FlowState& flow = it->second;
+
+  struct AlertSink final : MatchSink {
+    std::vector<Alert>* out = nullptr;
+    const GroupedRules* rules = nullptr;
+    std::uint64_t flow_id = 0;
+    pattern::Group protocol{};
+    std::uint64_t emitted = 0;
+    void on_match(const Match& m) override {
+      out->push_back(Alert{flow_id, rules->master_id(protocol, m.pattern_id), m.pos,
+                           protocol});
+      ++emitted;
+    }
+  } sink;
+  sink.out = &out;
+  sink.rules = &rules_;
+  sink.flow_id = flow_id;
+  sink.protocol = flow.protocol;
+
+  flow.scanner.feed(chunk, sink);
+  counters_.bytes_inspected += chunk.size();
+  ++counters_.chunks;
+  counters_.alerts += sink.emitted;
+}
+
+void IdsEngine::close_flow(std::uint64_t flow_id) { flows_.erase(flow_id); }
+
+}  // namespace vpm::ids

@@ -1,0 +1,53 @@
+// The end-to-end inspection engine: grouped rules + per-flow streaming scan
+// + alert production.  This is the application layer a NIDS would embed; the
+// examples and integration tests drive it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/alert.hpp"
+#include "ids/flow.hpp"
+#include "ids/rule_group.hpp"
+
+namespace vpm::ids {
+
+struct EngineConfig {
+  core::Algorithm algorithm = core::Algorithm::vpatch;
+};
+
+struct EngineCounters {
+  std::uint64_t bytes_inspected = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t flows = 0;
+};
+
+class IdsEngine {
+ public:
+  IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg = {});
+
+  // Inspects the next payload chunk of `flow_id` (protocol fixed per flow at
+  // first sight); appends alerts to `out`.
+  void inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+               std::vector<Alert>& out);
+
+  // Forgets a flow's stream state (connection close).
+  void close_flow(std::uint64_t flow_id);
+
+  const EngineCounters& counters() const { return counters_; }
+  const GroupedRules& rules() const { return rules_; }
+
+ private:
+  struct FlowState {
+    pattern::Group protocol;
+    StreamScanner scanner;
+  };
+
+  GroupedRules rules_;
+  std::unordered_map<std::uint64_t, FlowState> flows_;
+  EngineCounters counters_;
+};
+
+}  // namespace vpm::ids

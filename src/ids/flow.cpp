@@ -1,0 +1,56 @@
+#include "ids/flow.hpp"
+
+#include <algorithm>
+
+namespace vpm::ids {
+
+StreamScanner::StreamScanner(const Matcher& matcher, std::size_t max_pattern_len,
+                             std::vector<std::uint32_t> pattern_lengths)
+    : matcher_(&matcher),
+      carry_capacity_(max_pattern_len > 0 ? max_pattern_len - 1 : 0),
+      lengths_(std::move(pattern_lengths)) {}
+
+void StreamScanner::feed(util::ByteView chunk, MatchSink& sink) {
+  // Assemble carry + chunk.
+  buffer_.resize(carry_len_);
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+
+  // Offset of buffer_[0] within the absolute stream.
+  const std::uint64_t base = consumed_ - carry_len_;
+  const std::size_t carry = carry_len_;
+
+  struct DedupSink final : MatchSink {
+    MatchSink* inner = nullptr;
+    const std::vector<std::uint32_t>* lengths = nullptr;
+    std::uint64_t base = 0;
+    std::size_t carry = 0;
+    void on_match(const Match& m) override {
+      // Matches ending within the carry were found by the previous feed.
+      const std::uint32_t len = (*lengths)[m.pattern_id];
+      if (m.pos + len <= carry) return;
+      inner->on_match({m.pattern_id, base + m.pos});
+    }
+  } dedup;
+  dedup.inner = &sink;
+  dedup.lengths = &lengths_;
+  dedup.base = base;
+  dedup.carry = carry;
+
+  matcher_->scan(buffer_, dedup);
+  consumed_ += chunk.size();
+
+  // Retain the tail as the next carry.
+  carry_len_ = std::min(carry_capacity_, buffer_.size());
+  if (carry_len_ > 0) {
+    std::copy(buffer_.end() - static_cast<long>(carry_len_), buffer_.end(), buffer_.begin());
+  }
+  buffer_.resize(carry_len_);
+}
+
+void StreamScanner::reset() {
+  buffer_.clear();
+  carry_len_ = 0;
+  consumed_ = 0;
+}
+
+}  // namespace vpm::ids

@@ -1,0 +1,41 @@
+// Streaming scan over a flow's reassembled byte stream.
+//
+// NIDS payloads arrive in chunks; a pattern may straddle a chunk boundary.
+// StreamScanner keeps the last (max_pattern_len - 1) bytes of the previous
+// data as carry, scans carry+chunk, and reports each match exactly once with
+// absolute stream offsets: a match that ends inside the carry region was
+// already reported by the previous feed and is suppressed.
+#pragma once
+
+#include <cstdint>
+
+#include "match/matcher.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::ids {
+
+class StreamScanner {
+ public:
+  // `matcher` must outlive the scanner; `max_pattern_len` bounds the carry.
+  // `pattern_lengths` (pattern id -> byte length) is copied.
+  StreamScanner(const Matcher& matcher, std::size_t max_pattern_len,
+                std::vector<std::uint32_t> pattern_lengths);
+
+  // Scans the next chunk; emits matches (absolute stream offsets) to sink.
+  void feed(util::ByteView chunk, MatchSink& sink);
+
+  // Total bytes consumed so far.
+  std::uint64_t stream_length() const { return consumed_; }
+
+  void reset();
+
+ private:
+  const Matcher* matcher_;
+  std::size_t carry_capacity_;
+  std::vector<std::uint32_t> lengths_;  // pattern id -> byte length
+  util::Bytes buffer_;                         // carry + current chunk
+  std::size_t carry_len_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace vpm::ids

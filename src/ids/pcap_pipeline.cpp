@@ -1,0 +1,63 @@
+#include "ids/pcap_pipeline.hpp"
+
+#include <unordered_map>
+
+namespace vpm::ids {
+
+pattern::Group classify_port(std::uint16_t dst_port) {
+  switch (dst_port) {
+    case 80:
+    case 8080:
+    case 8000:
+      return pattern::Group::http;
+    case 53:
+      return pattern::Group::dns;
+    case 21:
+      return pattern::Group::ftp;
+    case 25:
+    case 587:
+      return pattern::Group::smtp;
+    default:
+      return pattern::Group::generic;
+  }
+}
+
+PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::PatternSet& rules,
+                                EngineConfig cfg) {
+  PcapPipelineResult result;
+  const net::PcapParseResult parsed = net::read_pcap(pcap_bytes);
+  result.packets = parsed.packets.size();
+  result.skipped_records = parsed.skipped_records;
+
+  IdsEngine engine(rules, cfg);
+
+  // Dense flow ids per 5-tuple.
+  std::unordered_map<std::uint64_t, std::uint64_t> flow_ids;
+  auto flow_id_of = [&](const net::FiveTuple& t) {
+    const auto [it, inserted] = flow_ids.emplace(t.hash(), flow_ids.size());
+    return it->second;
+  };
+
+  net::TcpReassembler reassembler(
+      [&](const net::FiveTuple& tuple, std::uint64_t /*stream_offset*/, util::ByteView chunk) {
+        engine.inspect(flow_id_of(tuple), classify_port(tuple.dst_port), chunk,
+                       result.alerts);
+      });
+
+  for (const net::Packet& p : parsed.packets) {
+    if (p.tuple.proto == net::IpProto::tcp) {
+      reassembler.ingest(p);
+    } else {
+      // UDP: datagram-scoped scan, no cross-datagram state.
+      engine.inspect(flow_id_of(p.tuple), classify_port(p.tuple.dst_port), p.payload,
+                     result.alerts);
+    }
+  }
+
+  result.counters = engine.counters();
+  result.reassembly_drops = reassembler.dropped_segments();
+  result.duplicate_bytes_trimmed = reassembler.duplicate_bytes_trimmed();
+  return result;
+}
+
+}  // namespace vpm::ids

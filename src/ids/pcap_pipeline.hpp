@@ -1,0 +1,32 @@
+// End-to-end packet pipeline: pcap bytes -> TCP reassembly -> protocol
+// classification -> grouped IDS inspection.  The full path a deployed sensor
+// runs, assembled from the library's pieces.
+#pragma once
+
+#include <vector>
+
+#include "ids/engine.hpp"
+#include "net/pcap.hpp"
+#include "net/reassembly.hpp"
+
+namespace vpm::ids {
+
+struct PcapPipelineResult {
+  std::vector<Alert> alerts;
+  EngineCounters counters;
+  std::size_t packets = 0;
+  std::size_t skipped_records = 0;
+  std::uint64_t reassembly_drops = 0;
+  std::uint64_t duplicate_bytes_trimmed = 0;
+};
+
+// Classifies a flow by its server-side (destination) port, mirroring how
+// Snort binds rule groups to port groups.
+pattern::Group classify_port(std::uint16_t dst_port);
+
+// Parses `pcap_bytes`, reassembles every TCP flow (UDP payloads are scanned
+// per-datagram), and inspects each stream with the grouped rules.
+PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::PatternSet& rules,
+                                EngineConfig cfg = {});
+
+}  // namespace vpm::ids

@@ -1,0 +1,33 @@
+#include "ids/rule_group.hpp"
+
+namespace vpm::ids {
+
+GroupedRules::GroupedRules(const pattern::PatternSet& master, core::Algorithm algorithm) {
+  using pattern::Group;
+  for (std::size_t g = 0; g < entries_.size(); ++g) {
+    Entry& entry = entries_[g];
+    const Group group = static_cast<Group>(g);
+    for (const pattern::Pattern& p : master) {
+      // Each group's working set = its own patterns + the generic ones; the
+      // generic matcher sees only generic patterns.
+      if (p.group != group && p.group != Group::generic) continue;
+      const std::uint32_t local = entry.patterns.add(p.bytes, p.nocase, p.group);
+      if (local == entry.to_master.size()) {
+        entry.to_master.push_back(p.id);
+        entry.lengths.push_back(static_cast<std::uint32_t>(p.size()));
+        entry.max_len = std::max(entry.max_len, p.size());
+      }
+    }
+    if (entry.patterns.empty()) {
+      // Keep a valid (trivially empty-result) matcher for protocol groups
+      // with no rules: one unmatched sentinel pattern is cheaper than a null
+      // check on every inspect call — build from a set with no patterns is
+      // rejected by some engines, so route through naive.
+      entry.matcher = core::make_matcher(core::Algorithm::naive, entry.patterns);
+      continue;
+    }
+    entry.matcher = core::make_matcher(algorithm, entry.patterns);
+  }
+}
+
+}  // namespace vpm::ids

@@ -1,0 +1,55 @@
+// Protocol rule groups (paper §V-A): "patterns are organized in groups,
+// depending on the type of traffic they refer to. When traffic arrives ...
+// the reassembled payload is matched only against patterns that are relevant
+// (e.g. if the stream has HTTP traffic, it is checked against HTTP related
+// patterns, as well as more general patterns)".
+//
+// GroupedRules builds one matcher per protocol, each over that protocol's
+// patterns plus the generic ones.  Pattern ids reported by group matchers
+// are LOCAL to the group's PatternSet; the mapping back to the master set is
+// provided for alert rendering.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/matcher_factory.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::ids {
+
+class GroupedRules {
+ public:
+  GroupedRules(const pattern::PatternSet& master, core::Algorithm algorithm);
+
+  // The matcher for traffic of protocol `g` (http/dns/ftp/smtp/generic).
+  const Matcher& matcher_for(pattern::Group g) const { return *entries_[index(g)].matcher; }
+  const pattern::PatternSet& patterns_for(pattern::Group g) const {
+    return entries_[index(g)].patterns;
+  }
+  // Maps a group-local pattern id back to the master-set id.
+  std::uint32_t master_id(pattern::Group g, std::uint32_t local_id) const {
+    return entries_[index(g)].to_master[local_id];
+  }
+  std::size_t max_pattern_length(pattern::Group g) const {
+    return entries_[index(g)].max_len;
+  }
+  const std::vector<std::uint32_t>& pattern_lengths(pattern::Group g) const {
+    return entries_[index(g)].lengths;
+  }
+
+ private:
+  static std::size_t index(pattern::Group g) { return static_cast<std::size_t>(g); }
+
+  struct Entry {
+    pattern::PatternSet patterns;
+    std::vector<std::uint32_t> to_master;
+    std::vector<std::uint32_t> lengths;
+    MatcherPtr matcher;
+    std::size_t max_len = 0;
+  };
+  std::array<Entry, static_cast<std::size_t>(pattern::Group::count)> entries_;
+};
+
+}  // namespace vpm::ids

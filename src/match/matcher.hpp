@@ -1,0 +1,91 @@
+// The common exact-multiple-pattern-matching interface.
+//
+// Every engine (Aho-Corasick, DFC, Vector-DFC, S-PATCH, V-PATCH, Wu-Manber,
+// naive) reports the identical multiset of (pattern_id, start position) for
+// all occurrences of all patterns — "producing the same output as
+// Aho-Corasick" (paper §IV-A2).  That contract is the backbone of the
+// differential test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vpm {
+
+struct Match {
+  std::uint32_t pattern_id = 0;
+  std::uint64_t pos = 0;  // start offset of the occurrence within the scanned buffer
+
+  friend bool operator==(const Match&, const Match&) = default;
+  friend auto operator<=>(const Match&, const Match&) = default;
+};
+
+// Receives matches during a scan.  Implementations must tolerate matches
+// arriving in engine-specific order (AC emits by end position; the filtering
+// engines by family then position).
+class MatchSink {
+ public:
+  virtual void on_match(const Match& m) = 0;
+
+ protected:
+  ~MatchSink() = default;
+};
+
+class CountingSink final : public MatchSink {
+ public:
+  void on_match(const Match&) override { ++count_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+class CollectingSink final : public MatchSink {
+ public:
+  void on_match(const Match& m) override { matches_.push_back(m); }
+  const std::vector<Match>& matches() const { return matches_; }
+  // Canonical order for set comparison across engines.
+  std::vector<Match> sorted() const {
+    std::vector<Match> v = matches_;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+ private:
+  std::vector<Match> matches_;
+};
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  // Finds every occurrence of every pattern in `data`.
+  virtual void scan(util::ByteView data, MatchSink& sink) const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  // Approximate heap footprint of the search structures, for the memory
+  // comparisons (AC's automaton blow-up vs the filters' few KB).
+  virtual std::size_t memory_bytes() const = 0;
+
+  std::uint64_t count_matches(util::ByteView data) const {
+    CountingSink sink;
+    scan(data, sink);
+    return sink.count();
+  }
+
+  std::vector<Match> find_matches(util::ByteView data) const {
+    CollectingSink sink;
+    scan(data, sink);
+    return sink.sorted();
+  }
+};
+
+using MatcherPtr = std::unique_ptr<Matcher>;
+
+}  // namespace vpm

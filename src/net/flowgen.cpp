@@ -1,0 +1,66 @@
+#include "net/flowgen.hpp"
+
+#include <algorithm>
+
+#include "traffic/http_trace.hpp"
+#include "util/rng.hpp"
+
+namespace vpm::net {
+
+GeneratedFlows generate_flows(const FlowGenConfig& cfg) {
+  GeneratedFlows out;
+  util::Rng rng(cfg.seed);
+
+  // Per-flow content and tuple.
+  for (std::size_t f = 0; f < cfg.flow_count; ++f) {
+    out.streams.push_back(traffic::generate_http_trace(
+        traffic::iscx_day2_config(cfg.bytes_per_flow, cfg.seed * 1000 + f)));
+    FiveTuple t;
+    t.src_ip = 0x0A000000u | static_cast<std::uint32_t>(f + 2);  // 10.0.0.x
+    t.dst_ip = 0xC0A80001u;                                      // 192.168.0.1
+    t.src_port = static_cast<std::uint16_t>(49152 + f);
+    t.dst_port = cfg.dst_port;
+    t.proto = IpProto::tcp;
+    out.tuples.push_back(t);
+  }
+
+  // Segment + interleave round-robin.
+  std::vector<std::size_t> cursor(cfg.flow_count, 0);
+  std::vector<std::uint32_t> isn(cfg.flow_count);
+  for (auto& s : isn) s = static_cast<std::uint32_t>(rng());
+  std::uint64_t clock_us = 1'000'000;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t f = 0; f < cfg.flow_count; ++f) {
+      if (cursor[f] >= out.streams[f].size()) continue;
+      progressed = true;
+      const std::size_t seg_len =
+          std::min<std::size_t>({cfg.mss, out.streams[f].size() - cursor[f],
+                                 static_cast<std::size_t>(rng.between(200, 1460))});
+      Packet p;
+      p.timestamp_us = clock_us;
+      clock_us += static_cast<std::uint64_t>(rng.between(5, 200));
+      p.tuple = out.tuples[f];
+      p.tcp_seq = isn[f] + static_cast<std::uint32_t>(cursor[f]);
+      p.payload.assign(out.streams[f].begin() + static_cast<long>(cursor[f]),
+                       out.streams[f].begin() + static_cast<long>(cursor[f] + seg_len));
+      out.packets.push_back(std::move(p));
+      cursor[f] += seg_len;
+    }
+  }
+
+  // Optional adjacent-pair reordering (same-flow pairs included; the
+  // reassembler must cope either way).
+  if (cfg.reorder_fraction > 0.0) {
+    for (std::size_t i = 0; i + 1 < out.packets.size(); i += 2) {
+      if (rng.chance(cfg.reorder_fraction)) {
+        std::swap(out.packets[i], out.packets[i + 1]);
+        std::swap(out.packets[i].timestamp_us, out.packets[i + 1].timestamp_us);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vpm::net

@@ -1,0 +1,34 @@
+// Flow packetization: turns the traffic generators' byte streams into
+// interleaved TCP packet sequences (MTU-sized segments, per-flow sequence
+// numbers, optional reordering) — the glue between src/traffic and the
+// packet-level world (pcap files, the reassembler, the IDS examples).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vpm::net {
+
+struct FlowGenConfig {
+  std::size_t flow_count = 4;
+  std::size_t bytes_per_flow = 1 << 20;
+  std::size_t mss = 1460;          // max segment payload
+  double reorder_fraction = 0.0;   // fraction of adjacent segment pairs swapped
+  std::uint64_t seed = 1;
+  std::uint16_t dst_port = 80;     // classifies the flows (80 -> http group)
+};
+
+// Builds `flow_count` server-bound flows from iscx-day2-style generated
+// content, segments them, interleaves them round-robin with jittered
+// timestamps, and applies optional adjacent-pair reordering.  The i-th
+// flow's stream content is returned in `streams` for ground-truth checks.
+struct GeneratedFlows {
+  std::vector<Packet> packets;
+  std::vector<util::Bytes> streams;
+  std::vector<FiveTuple> tuples;
+};
+GeneratedFlows generate_flows(const FlowGenConfig& cfg);
+
+}  // namespace vpm::net

@@ -1,0 +1,43 @@
+// Packet model for the network substrate.
+//
+// The paper's system model is a NIDS scanning *reassembled protocol streams*;
+// this module provides the missing network layer: packets with 5-tuples and
+// TCP sequence numbers, pcap-format capture I/O, flow packetization of the
+// generated traces, and TCP stream reassembly feeding the IDS engine.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpm::net {
+
+enum class IpProto : std::uint8_t { tcp = 6, udp = 17 };
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::tcp;
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+
+  // Stable hash for flow tables.
+  std::uint64_t hash() const {
+    std::uint64_t h = src_ip;
+    h = h * 0x100000001B3ull ^ dst_ip;
+    h = h * 0x100000001B3ull ^ (static_cast<std::uint32_t>(src_port) << 16 | dst_port);
+    h = h * 0x100000001B3ull ^ static_cast<std::uint8_t>(proto);
+    return h;
+  }
+};
+
+struct Packet {
+  std::uint64_t timestamp_us = 0;
+  FiveTuple tuple;
+  std::uint32_t tcp_seq = 0;  // sequence number of payload[0] (TCP only)
+  util::Bytes payload;
+};
+
+}  // namespace vpm::net

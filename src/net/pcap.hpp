@@ -1,0 +1,28 @@
+// Minimal classic-pcap (libpcap 2.4) reader/writer over Ethernet/IPv4.
+//
+// Writes well-formed Ethernet + IPv4 + TCP/UDP frames (checksums zeroed, as
+// capture tools commonly emit with offload) and parses them back to Packet
+// records.  This is the interchange format between the traffic generators
+// and the IDS examples, and it accepts real captures of the same link type.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vpm::net {
+
+// Serializes packets into a classic pcap byte stream (microsecond timestamps,
+// LINKTYPE_ETHERNET).
+util::Bytes write_pcap(const std::vector<Packet>& packets);
+
+struct PcapParseResult {
+  std::vector<Packet> packets;
+  std::size_t skipped_records = 0;  // non-IPv4 / non-TCP-UDP / truncated
+};
+
+// Parses a classic pcap byte stream; throws std::invalid_argument on a bad
+// global header, skips (and counts) records it cannot interpret.
+PcapParseResult read_pcap(util::ByteView data);
+
+}  // namespace vpm::net

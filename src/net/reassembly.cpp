@@ -1,0 +1,79 @@
+#include "net/reassembly.hpp"
+
+namespace vpm::net {
+
+void TcpReassembler::ingest(const Packet& packet) {
+  if (packet.tuple.proto != IpProto::tcp || packet.payload.empty()) return;
+  FlowState& flow = flows_[packet.tuple];
+  if (!flow.pinned) {
+    flow.initial_seq = packet.tcp_seq;
+    flow.pinned = true;
+  }
+  // 32-bit sequence arithmetic relative to the initial seq; streams here are
+  // bounded well below 4 GiB so a single unwrapped delta suffices.
+  const std::uint64_t offset =
+      static_cast<std::uint32_t>(packet.tcp_seq - flow.initial_seq);
+
+  std::uint64_t begin = offset;
+  const std::uint8_t* src = packet.payload.data();
+  std::size_t len = packet.payload.size();
+
+  // Trim the part already delivered (retransmission / overlap: first wins).
+  if (begin < flow.next_offset) {
+    const std::uint64_t overlap = flow.next_offset - begin;
+    if (overlap >= len) {
+      trimmed_ += len;
+      return;
+    }
+    trimmed_ += overlap;
+    src += overlap;
+    len -= overlap;
+    begin = flow.next_offset;
+  }
+
+  if (begin == flow.next_offset) {
+    on_chunk_(packet.tuple, begin, {src, len});
+    flow.next_offset = begin + len;
+    drain(packet.tuple, flow);
+    return;
+  }
+
+  // Out of order: buffer unless the flow's budget is exhausted.
+  if (flow.pending_bytes + len > limits_.max_buffered_bytes) {
+    ++dropped_;
+    return;
+  }
+  auto [it, inserted] = flow.pending.emplace(begin, util::Bytes(src, src + len));
+  if (inserted) {
+    flow.pending_bytes += len;
+  } else {
+    trimmed_ += len;  // duplicate offset: first wins
+  }
+}
+
+void TcpReassembler::drain(const FiveTuple& tuple, FlowState& flow) {
+  auto it = flow.pending.begin();
+  while (it != flow.pending.end() && it->first <= flow.next_offset) {
+    const std::uint64_t begin = it->first;
+    util::Bytes& bytes = it->second;
+    std::size_t skip = 0;
+    if (begin < flow.next_offset) {
+      skip = static_cast<std::size_t>(flow.next_offset - begin);
+      if (skip >= bytes.size()) {
+        trimmed_ += bytes.size();
+        flow.pending_bytes -= bytes.size();
+        it = flow.pending.erase(it);
+        continue;
+      }
+      trimmed_ += skip;
+    }
+    on_chunk_(tuple, flow.next_offset, {bytes.data() + skip, bytes.size() - skip});
+    flow.next_offset = begin + bytes.size();
+    flow.pending_bytes -= bytes.size();
+    it = flow.pending.erase(it);
+  }
+}
+
+void TcpReassembler::close_flow(const FiveTuple& tuple) { flows_.erase(tuple); }
+
+}  // namespace vpm::net

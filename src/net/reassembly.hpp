@@ -1,0 +1,68 @@
+// TCP stream reassembly.
+//
+// The NIDS scans reassembled byte streams, not individual packets (a pattern
+// may straddle segments, and attackers deliberately fragment payloads).  The
+// reassembler buffers out-of-order segments per flow, trims overlaps
+// (first-arrival wins, the common IDS policy), and emits the in-order prefix
+// as contiguous chunks — which feed ids::StreamScanner.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace vpm::net {
+
+struct ReassemblyLimits {
+  // Per-flow cap on buffered out-of-order bytes; overflow drops the segment
+  // and counts it (defense against state-exhaustion).
+  std::size_t max_buffered_bytes = 1 << 20;
+};
+
+class TcpReassembler {
+ public:
+  // Called with the next in-order chunk of a flow's stream.
+  using ChunkCallback =
+      std::function<void(const FiveTuple&, std::uint64_t stream_offset, util::ByteView chunk)>;
+
+  explicit TcpReassembler(ChunkCallback on_chunk, ReassemblyLimits limits = {})
+      : on_chunk_(std::move(on_chunk)), limits_(limits) {}
+
+  // Ingests one TCP segment; may trigger zero or more callbacks.  The first
+  // segment seen for a flow pins its initial sequence number.
+  void ingest(const Packet& packet);
+
+  // Flushes knowledge of a flow (connection close / timeout).
+  void close_flow(const FiveTuple& tuple);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  std::uint64_t dropped_segments() const { return dropped_; }
+  std::uint64_t duplicate_bytes_trimmed() const { return trimmed_; }
+
+ private:
+  struct FlowState {
+    std::uint32_t initial_seq = 0;
+    bool pinned = false;
+    std::uint64_t next_offset = 0;  // stream offset expected next
+    // Out-of-order segments keyed by stream offset.
+    std::map<std::uint64_t, util::Bytes> pending;
+    std::size_t pending_bytes = 0;
+  };
+
+  struct TupleHash {
+    std::size_t operator()(const FiveTuple& t) const { return t.hash(); }
+  };
+
+  void drain(const FiveTuple& tuple, FlowState& flow);
+
+  ChunkCallback on_chunk_;
+  ReassemblyLimits limits_;
+  std::unordered_map<FiveTuple, FlowState, TupleHash> flows_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t trimmed_ = 0;
+};
+
+}  // namespace vpm::net

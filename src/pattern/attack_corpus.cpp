@@ -1,0 +1,114 @@
+#include "pattern/attack_corpus.hpp"
+
+#include <array>
+
+namespace vpm::pattern {
+
+namespace {
+
+constexpr std::string_view kAttackStrings[] = {
+    // SQL injection fragments
+    "UNION SELECT", "union all select", "' OR '1'='1", "\" OR \"\"=\"",
+    "1=1--", "' OR 1=1#", "ORDER BY 1--", "GROUP BY CONCAT(",
+    "information_schema.tables", "xp_cmdshell", "sp_executesql",
+    "WAITFOR DELAY", "BENCHMARK(", "SLEEP(5)", "pg_sleep(", "EXTRACTVALUE(",
+    "UPDATEXML(", "LOAD_FILE(", "INTO OUTFILE", "INTO DUMPFILE",
+    "CAST(CHR(", "CHAR(0x", "0x3c736372697074", "/**/UNION/**/",
+    "%27%20OR%20%271", "admin'--", "having 1=1", "select @@version",
+    "UTL_HTTP.REQUEST", "DBMS_PIPE.RECEIVE_MESSAGE",
+    // XSS fragments
+    "<script>", "</script>", "<script>alert(", "javascript:alert(",
+    "onerror=alert(", "onload=eval(", "onmouseover=", "document.cookie",
+    "String.fromCharCode(", "<img src=x onerror=", "<svg/onload=",
+    "eval(atob(", "<iframe src=", "expression(alert(", "vbscript:msgbox(",
+    "%3Cscript%3E", "&#x3C;script&#x3E;", "<body onload=",
+    // Path traversal / LFI / RFI
+    "../../../../etc/passwd", "..%2f..%2f..%2f", "/etc/shadow",
+    "/etc/passwd", "..\\..\\..\\windows\\", "boot.ini", "win.ini",
+    "c:\\windows\\system32\\", "/proc/self/environ", "php://filter",
+    "php://input", "data://text/plain", "expect://", "zip://",
+    "%c0%af%c0%af", "....//....//", "/WEB-INF/web.xml", "/.git/config",
+    "/.env", "wp-config.php", "/cgi-bin/", "/.htaccess", "/server-status",
+    // Command injection / shells
+    "/bin/sh", "/bin/bash -i", "cmd.exe /c", "powershell -enc",
+    "powershell.exe -nop -w hidden", "nc -e /bin/sh", "bash -c 'exec",
+    "wget http://", "curl -o /tmp/", "chmod 777 /tmp/", "rm -rf /",
+    "| id;", "; cat /etc", "&& whoami", "$(curl ", "`wget ",
+    "python -c 'import socket", "perl -e 'use Socket",
+    "sh -i >& /dev/tcp/", "mkfifo /tmp/f;", "exec 5<>/dev/tcp/",
+    // Webshell / backdoor markers
+    "c99shell", "r57shell", "wso shell", "b374k", "eval($_POST[",
+    "eval($_GET[", "assert($_REQUEST[", "base64_decode($_", "passthru(",
+    "shell_exec(", "system($_", "preg_replace(\"/.*/e\"", "create_function(",
+    "move_uploaded_file(", "FilesMan", "PHPShell", "antsword", "behinder",
+    // Exploit kit / malware callbacks
+    "Mozilla/4.0 (compatible; MSIE 6.0; Windows NT 5.1)", "sqlmap/1.",
+    "Nikto/2.", "nessus", "masscan/1.", "zgrab/", "python-requests/",
+    "Go-http-client/1.1", "ZmEu", "morfeus", "w00tw00t.at.ISC.SANS",
+    "libwww-perl/", "Wget/1.", "MSIE 6.0; Windows 98", "DirBuster-",
+    "gobuster/", "fuzz-agent", "Acunetix", "nmap scripting engine",
+    // Protocol attack markers
+    "SITE EXEC", "MKD AAAA", "USER anonymous", "PASS mozilla@",
+    "RETR /etc/passwd", "EHLO localhost", "MAIL FROM:<", "RCPT TO:<",
+    "VRFY root", "EXPN decode", "HELO evil.example", "STARTTLS\r\nEHLO",
+    "TRACE / HTTP/1.1", "OPTIONS * HTTP/1.0", "CONNECT 127.0.0.1:25",
+    "PROPFIND / HTTP/1.1", "SEARCH / HTTP/1.1", "Translate: f",
+    // Known CVE-ish / overflow markers
+    "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA", "%u9090%u6858", "\x90\x90\x90\x90",
+    "jmp esp", "\xcc\xcc\xcc\xcc", "METASPLOIT", "meterpreter",
+    "/../../../../../../../../", "%252e%252e%252f", "${jndi:ldap://",
+    "${jndi:rmi://", "() { :; };", "/bin/ping -c 4", "<%25=",
+    "<?php @eval", "<?xml version=\"1.0\"?><!DOCTYPE foo [<!ENTITY",
+    "<!ENTITY xxe SYSTEM", "file:///etc/passwd", "gopher://127.0.0.1",
+    "dict://localhost:11211", "jndi:dns://", "org.apache.commons.collections",
+    "java.lang.Runtime.getRuntime", "ObjectInputStream", "ysoserial",
+    // Credential / recon strings
+    "Authorization: Basic YWRtaW46YWRtaW4=", "X-Forwarded-For: 127.0.0.1",
+    "Cookie: PHPSESSID=deadbeef", "passwd=admin&login=", "uid=0(root)",
+    "root:x:0:0:root", "SELECT password FROM users", "net user administrator",
+    "cat ~/.ssh/id_rsa", "ssh-rsa AAAAB3NzaC1yc2E", "BEGIN RSA PRIVATE KEY",
+    "smb://", "\\\\evil\\share\\payload.dll", "rundll32.exe javascript:",
+    "regsvr32 /s /u /i:http://", "mshta http://", "certutil -urlcache -split",
+    "bitsadmin /transfer", "schtasks /create /tn", "wmic process call create",
+    // DNS / tunneling markers
+    "dnscat2", "iodine-tunnel", "0x20-encoded-query", "burpcollaborator.net",
+    "oastify.com", "interact.sh", "requestbin.net", "xip.io",
+    // Crypto-miner / botnet strings
+    "stratum+tcp://", "xmrig", "minerd -a cryptonight", "mirai.arm7",
+    "/bins/busybox", "POST /ctrlt/DeviceUpgrade_1", "/GponForm/diag_Form",
+    "XWebPageName=diag&diag_action=ping", "/shell?cd+/tmp",
+    "/picsdesc.xml", "/wanipcn.xml", "loligang.x86", "kaiten.c",
+};
+
+constexpr std::string_view kShortTokens[] = {
+    "GET", "POST", "HEAD", "PUT", "HTTP", "EHLO", "HELO", "USER", "PASS",
+    "RETR", "STOR", "QUIT", "AUTH", "STAT", "LIST", "MKD", "DELE", "NOOP",
+    "PORT", "PASV", "TYPE", "MODE", "cmd", "exe", "dll", "php", "asp",
+    "jsp", "cgi", "sh", "pl", "py", "js", "%00", "%0a", "%0d", "\\x90",
+    "|00|", "../", "..\\", "', '", "\"/>", "<%", "%>", "();", "&&", "||",
+    "#!", "$(", "`", "--", ";--", "/*", "*/", "@@", "0x",
+};
+
+constexpr std::string_view kHttpVocabulary[] = {
+    "GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "HTTP/1.1", "HTTP/1.0",
+    "Host", "User-Agent", "Accept", "Accept-Language", "Accept-Encoding",
+    "Connection", "keep-alive", "close", "Content-Type", "Content-Length",
+    "Cookie", "Set-Cookie", "Referer", "Cache-Control", "no-cache",
+    "Pragma", "If-Modified-Since", "ETag", "Last-Modified", "Server",
+    "Apache", "nginx", "Microsoft-IIS", "X-Powered-By", "PHP", "ASP.NET",
+    "text/html", "text/plain", "application/json", "application/xml",
+    "application/x-www-form-urlencoded", "multipart/form-data",
+    "image/png", "image/jpeg", "gzip, deflate", "charset=utf-8",
+    "Mozilla/5.0", "Windows NT 10.0", "Macintosh; Intel Mac OS X",
+    "AppleWebKit/537.36", "Chrome/91.0", "Safari/537.36", "Firefox/89.0",
+    "Gecko/20100101", "Transfer-Encoding", "chunked", "Location",
+    "Authorization", "Bearer", "Basic", "X-Requested-With", "XMLHttpRequest",
+};
+
+}  // namespace
+
+std::span<const std::string_view> attack_strings() { return kAttackStrings; }
+std::span<const std::string_view> short_tokens() { return kShortTokens; }
+std::span<const std::string_view> http_vocabulary() { return kHttpVocabulary; }
+
+}  // namespace vpm::pattern

@@ -1,0 +1,29 @@
+// Embedded corpus of realistic signature strings.
+//
+// Substitute for the proprietary Snort / ET-Open rule contents: a few hundred
+// strings drawn from the public space of web-attack indicators (SQLi / XSS
+// fragments, traversal paths, exploit tool markers, protocol keywords,
+// malware user-agents, shell commands, binary shellcode prefixes).  The
+// ruleset generator samples and mutates these to reach the paper's set sizes
+// while keeping the prefix skew and token realism that drive filter
+// occupancy.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace vpm::pattern {
+
+// Long-ish attack/protocol strings (>= 5 bytes).
+std::span<const std::string_view> attack_strings();
+
+// Short protocol tokens (1-4 bytes) — the `GET` / `HTTP`-class patterns the
+// paper singles out as frequent natural matches in real traffic.
+std::span<const std::string_view> short_tokens();
+
+// HTTP header names / protocol vocabulary used both by the ruleset generator
+// and by the traffic generator (shared vocabulary is what makes short
+// patterns fire in "realistic" traffic, as in the paper's ISCX runs).
+std::span<const std::string_view> http_vocabulary();
+
+}  // namespace vpm::pattern

@@ -1,0 +1,17 @@
+#include "pattern/pattern.hpp"
+
+namespace vpm::pattern {
+
+std::string_view group_name(Group g) {
+  switch (g) {
+    case Group::generic: return "generic";
+    case Group::http: return "http";
+    case Group::dns: return "dns";
+    case Group::ftp: return "ftp";
+    case Group::smtp: return "smtp";
+    case Group::count: break;
+  }
+  return "?";
+}
+
+}  // namespace vpm::pattern

@@ -1,0 +1,38 @@
+// Pattern model.
+//
+// A pattern is an exact byte string (possibly ASCII-case-insensitive, like
+// Snort's `nocase` contents) with a dense integer id and a protocol group.
+// Groups mirror how Snort organizes rules: traffic is only matched against
+// the patterns relevant to its protocol plus the generic ones (paper §V-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace vpm::pattern {
+
+enum class Group : std::uint8_t { generic = 0, http, dns, ftp, smtp, count };
+
+std::string_view group_name(Group g);
+
+struct Pattern {
+  std::uint32_t id = 0;
+  util::Bytes bytes;
+  bool nocase = false;
+  Group group = Group::generic;
+
+  std::size_t size() const { return bytes.size(); }
+
+  // True iff this pattern occurs in `data` starting at `pos`.
+  bool matches_at(util::ByteView data, std::size_t pos) const {
+    if (pos + bytes.size() > data.size()) return false;
+    return util::bytes_equal(data.data() + pos, bytes.data(), bytes.size(), nocase);
+  }
+
+  std::string printable() const { return util::escape_bytes(bytes); }
+};
+
+}  // namespace vpm::pattern

@@ -1,0 +1,20 @@
+// Pattern-prefix helpers for filter construction.
+//
+// All direct filters index on raw input bytes (no folding in the hot loop,
+// matching the paper's Algorithm 1/2).  Case-insensitive patterns therefore
+// insert every case variant of their prefix into the filters/tables: at most
+// 2^k variants for a k-byte prefix, and only alphabetic bytes fork.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace vpm::pattern {
+
+// Little-endian packed values of every case variant of `prefix` (1..4 bytes).
+// For nocase == false, the single raw value.
+std::vector<std::uint32_t> prefix_variants(util::ByteView prefix, bool nocase);
+
+}  // namespace vpm::pattern

@@ -1,0 +1,42 @@
+// Synthetic ruleset generation — the stand-in for Snort S1 / ET-Open S2.
+//
+// Reproduces the statistics the paper's experiments depend on:
+//   * set size (2.5 K for S1, 20 K for S2);
+//   * 21 % of patterns with length 1-4 bytes (paper footnote 2);
+//   * realistic prefix skew: patterns share protocol-token prefixes, so the
+//     2-byte direct filters see clustered, not uniform, occupancy;
+//   * a protocol-group mix chosen so the "web" subset (http + generic)
+//     matches the paper's 2 K-of-S1 and 9 K-of-S2 working sets.
+#pragma once
+
+#include <cstdint>
+
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::pattern {
+
+struct RulesetConfig {
+  std::size_t count = 2500;
+  std::uint64_t seed = 1;
+  // Fraction of patterns with length 1..4 (Snort 2.9.7 statistic).
+  double short_fraction = 0.21;
+  // Fraction of patterns that are raw binary (shellcode-like) rather than text.
+  double binary_fraction = 0.10;
+  // Fraction of text patterns marked nocase (Snort contents are often nocase).
+  double nocase_fraction = 0.35;
+  // Group mix: probability that a pattern lands in http / generic; the rest
+  // spreads over dns/ftp/smtp. web = http + generic is what Fig. 4 uses.
+  double http_fraction = 0.45;
+  double generic_fraction = 0.35;
+};
+
+// S1-like: ~2.5 K patterns, web subset ~2 K.
+RulesetConfig s1_config(std::uint64_t seed = 1);
+// S2-like: ~20 K patterns, web subset ~9 K.
+RulesetConfig s2_config(std::uint64_t seed = 2);
+
+// Generates exactly cfg.count distinct patterns, deterministically from
+// cfg.seed.
+PatternSet generate_ruleset(const RulesetConfig& cfg);
+
+}  // namespace vpm::pattern

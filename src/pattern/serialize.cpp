@@ -1,0 +1,63 @@
+#include "pattern/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace vpm::pattern {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'P', 'M', 'D', 'B', '1', 0, 0};
+
+void put_u32(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+util::Bytes serialize_patterns(const PatternSet& set) {
+  util::Bytes out;
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(set.size()));
+  for (const Pattern& p : set) {
+    put_u32(out, static_cast<std::uint32_t>(p.size()));
+    out.push_back(p.nocase ? 1 : 0);
+    out.push_back(static_cast<std::uint8_t>(p.group));
+    out.insert(out.end(), p.bytes.begin(), p.bytes.end());
+  }
+  return out;
+}
+
+PatternSet deserialize_patterns(util::ByteView data) {
+  if (data.size() < 12 || std::memcmp(data.data(), kMagic, 8) != 0) {
+    throw std::invalid_argument("pattern db: bad magic");
+  }
+  const std::uint32_t count = get_u32(data.data() + 8);
+  PatternSet set;
+  std::size_t off = 12;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + 6 > data.size()) throw std::invalid_argument("pattern db: truncated header");
+    const std::uint32_t len = get_u32(data.data() + off);
+    const std::uint8_t flags = data[off + 4];
+    const std::uint8_t group = data[off + 5];
+    off += 6;
+    if (len == 0) throw std::invalid_argument("pattern db: empty pattern");
+    if (flags > 1) throw std::invalid_argument("pattern db: unknown flags");
+    if (group >= static_cast<std::uint8_t>(Group::count)) {
+      throw std::invalid_argument("pattern db: invalid group");
+    }
+    if (off + len > data.size()) throw std::invalid_argument("pattern db: truncated bytes");
+    set.add(util::Bytes(data.begin() + static_cast<long>(off),
+                        data.begin() + static_cast<long>(off + len)),
+            flags & 1, static_cast<Group>(group));
+    off += len;
+  }
+  return set;
+}
+
+}  // namespace vpm::pattern

@@ -1,0 +1,20 @@
+// Binary pattern-database format.
+//
+// Rule sets are distributed and loaded far more often than they change; the
+// binary format loads without re-parsing rule text and round-trips every
+// pattern attribute (bytes, nocase, group) exactly.  Layout (little-endian):
+//
+//   magic "VPMDB1\0\0" (8 B) | pattern count u32 |
+//   per pattern: length u32 | flags u8 (bit0 = nocase) | group u8 | bytes
+#pragma once
+
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::pattern {
+
+util::Bytes serialize_patterns(const PatternSet& set);
+
+// Throws std::invalid_argument on bad magic, truncation, or invalid fields.
+PatternSet deserialize_patterns(util::ByteView data);
+
+}  // namespace vpm::pattern

@@ -1,0 +1,201 @@
+#include "pattern/snort_rules.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace vpm::pattern {
+
+namespace {
+
+bool is_hex_digit(char c) { return std::isxdigit(static_cast<unsigned char>(c)) != 0; }
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+// Decodes a Snort content string body (between the quotes): literal bytes
+// with |HH HH| hex runs and backslash escapes for \" \\ \; \|.
+util::Bytes decode_content(std::string_view body) {
+  util::Bytes out;
+  bool in_hex = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_hex) {
+      if (c == '|') { in_hex = false; continue; }
+      if (c == ' ' || c == '\t') continue;
+      if (i + 1 >= body.size() || !is_hex_digit(c) || !is_hex_digit(body[i + 1])) {
+        throw std::invalid_argument("bad hex run in content");
+      }
+      out.push_back(static_cast<std::uint8_t>(hex_value(c) * 16 + hex_value(body[i + 1])));
+      ++i;
+      continue;
+    }
+    if (c == '|') { in_hex = true; continue; }
+    if (c == '\\') {
+      if (i + 1 >= body.size()) throw std::invalid_argument("dangling backslash in content");
+      out.push_back(static_cast<std::uint8_t>(body[++i]));
+      continue;
+    }
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  if (in_hex) throw std::invalid_argument("unterminated hex run in content");
+  return out;
+}
+
+// Maps the rule header (protocol + destination port) to a Group; mirrors how
+// Snort assigns rules to port groups before pattern matching.
+Group classify_header(std::string_view header) {
+  auto contains = [&](std::string_view needle) {
+    return header.find(needle) != std::string_view::npos;
+  };
+  if (contains("$HTTP_PORTS") || contains(" 80 ") || contains(":80 ") || contains(" 8080 "))
+    return Group::http;
+  if (contains(" 53 ")) return Group::dns;
+  if (contains(" 21 ")) return Group::ftp;
+  if (contains(" 25 ") || contains("$SMTP_PORTS")) return Group::smtp;
+  return Group::generic;
+}
+
+}  // namespace
+
+bool parse_rule_line(std::string_view line, ParsedRule& out) {
+  // Strip leading whitespace.
+  std::size_t begin = line.find_first_not_of(" \t\r\n");
+  if (begin == std::string_view::npos) return false;
+  line = line.substr(begin);
+  if (line.empty() || line[0] == '#') return false;
+
+  const std::size_t open = line.find('(');
+  const std::size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos || close <= open)
+    return false;
+
+  out = ParsedRule{};
+  out.group = classify_header(line.substr(0, open));
+  std::string_view opts = line.substr(open + 1, close - open - 1);
+
+  // Walk options; handle quotes so ';' inside content strings is not a split.
+  std::size_t i = 0;
+  while (i < opts.size()) {
+    // option name
+    std::size_t name_end = i;
+    while (name_end < opts.size() && opts[name_end] != ':' && opts[name_end] != ';') ++name_end;
+    std::string_view name = opts.substr(i, name_end - i);
+    // trim
+    while (!name.empty() && (name.front() == ' ' || name.front() == '\t')) name.remove_prefix(1);
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) name.remove_suffix(1);
+
+    std::string_view value;
+    std::size_t next;
+    if (name_end < opts.size() && opts[name_end] == ':') {
+      // scan value until unquoted ';'
+      std::size_t v = name_end + 1;
+      bool quoted = false;
+      std::size_t j = v;
+      for (; j < opts.size(); ++j) {
+        const char c = opts[j];
+        if (c == '\\' && quoted && j + 1 < opts.size()) { ++j; continue; }
+        if (c == '"') quoted = !quoted;
+        else if (c == ';' && !quoted) break;
+      }
+      value = opts.substr(v, j - v);
+      next = (j < opts.size()) ? j + 1 : j;
+    } else {
+      next = (name_end < opts.size()) ? name_end + 1 : name_end;
+    }
+
+    if (name == "content") {
+      std::size_t q1 = value.find('"');
+      std::size_t q2 = value.rfind('"');
+      if (q1 == std::string_view::npos || q2 <= q1)
+        throw std::invalid_argument("content without quoted string");
+      bool negated = false;
+      for (std::size_t k = 0; k < q1; ++k)
+        if (value[k] == '!') negated = true;
+      if (!negated) {
+        out.contents.push_back({decode_content(value.substr(q1 + 1, q2 - q1 - 1)), false});
+      }
+    } else if (name == "nocase") {
+      if (!out.contents.empty()) out.contents.back().nocase = true;
+    } else if (name == "msg") {
+      std::size_t q1 = value.find('"');
+      std::size_t q2 = value.rfind('"');
+      if (q1 != std::string_view::npos && q2 > q1)
+        out.msg = std::string(value.substr(q1 + 1, q2 - q1 - 1));
+    }
+    i = next;
+  }
+  return !out.contents.empty();
+}
+
+std::vector<ParsedRule> parse_rules(std::string_view text, std::size_t* skipped) {
+  std::vector<ParsedRule> rules;
+  std::size_t bad = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ParsedRule rule;
+    try {
+      if (parse_rule_line(line, rule)) rules.push_back(std::move(rule));
+    } catch (const std::invalid_argument&) {
+      ++bad;
+    }
+    if (eol == text.size()) break;
+  }
+  if (skipped) *skipped = bad;
+  return rules;
+}
+
+PatternSet patterns_from_rules(std::string_view text, ContentSelection selection) {
+  PatternSet set;
+  for (const ParsedRule& rule : parse_rules(text)) {
+    if (selection == ContentSelection::kAll) {
+      for (const ParsedContent& c : rule.contents) set.add(c.bytes, c.nocase, rule.group);
+    } else {
+      const ParsedContent* longest = &rule.contents.front();
+      for (const ParsedContent& c : rule.contents) {
+        if (c.bytes.size() > longest->bytes.size()) longest = &c;
+      }
+      set.add(longest->bytes, longest->nocase, rule.group);
+    }
+  }
+  return set;
+}
+
+std::string render_rules(const PatternSet& set) {
+  std::string out;
+  for (const Pattern& p : set) {
+    out += "alert tcp any any -> any ";
+    switch (p.group) {
+      case Group::http: out += "$HTTP_PORTS "; break;
+      case Group::dns: out += "53 "; break;
+      case Group::ftp: out += "21 "; break;
+      case Group::smtp: out += "25 "; break;
+      default: out += "any "; break;
+    }
+    out += "(msg:\"vpm pattern ";
+    out += std::to_string(p.id);
+    out += "\"; content:\"";
+    // Render as hex run for safety (always decodable).
+    out += '|';
+    static constexpr char kHex[] = "0123456789ABCDEF";
+    for (std::size_t i = 0; i < p.bytes.size(); ++i) {
+      if (i) out += ' ';
+      out += kHex[p.bytes[i] >> 4];
+      out += kHex[p.bytes[i] & 0xF];
+    }
+    out += "|\";";
+    if (p.nocase) out += " nocase;";
+    out += " sid:";
+    out += std::to_string(1000000 + p.id);
+    out += ";)\n";
+  }
+  return out;
+}
+
+}  // namespace vpm::pattern

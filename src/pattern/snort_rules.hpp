@@ -1,0 +1,53 @@
+// Parser for Snort-style rule files.
+//
+// The paper builds its pattern sets from the `content:` options of Snort
+// 2.9.7 and ET-Open rulesets.  This parser extracts those contents —
+// including `|48 65 78|` hex escapes and the `nocase` modifier — and maps the
+// rule header's protocol/port to a pattern Group, so any real ruleset file
+// drops into the benchmarks unchanged.  A synthetic generator with matched
+// statistics (ruleset_gen.hpp) substitutes when no ruleset file is available.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::pattern {
+
+struct ParsedContent {
+  util::Bytes bytes;
+  bool nocase = false;
+};
+
+struct ParsedRule {
+  Group group = Group::generic;
+  std::vector<ParsedContent> contents;
+  std::string msg;
+};
+
+// How rules with several content options are turned into patterns.
+enum class ContentSelection {
+  kLongestOnly,  // one pattern per rule: its longest content (Snort's MPSE choice)
+  kAll,          // every content becomes a pattern
+};
+
+// Parses one rule line. Returns false for blank lines, comments and rules
+// without any content option. Throws std::invalid_argument on malformed
+// content strings (unterminated quote / bad hex).
+bool parse_rule_line(std::string_view line, ParsedRule& out);
+
+// Parses a whole rules file content (not path). Malformed lines are skipped
+// and counted in `skipped` when non-null.
+std::vector<ParsedRule> parse_rules(std::string_view text, std::size_t* skipped = nullptr);
+
+// Convenience: parse text and load the selected contents into a PatternSet.
+PatternSet patterns_from_rules(std::string_view text,
+                               ContentSelection selection = ContentSelection::kLongestOnly);
+
+// Renders a PatternSet back to a rules-file-like text (round-trip aid for
+// tests and for exporting generated rulesets).
+std::string render_rules(const PatternSet& set);
+
+}  // namespace vpm::pattern

@@ -1,0 +1,67 @@
+// AVX-512 (W = 16) intrinsic sequences — the wide-vector stand-in for the
+// paper's Xeon-Phi 512-bit VPU experiments (Fig. 7).
+//
+// Include only from translation units compiled with
+// -mavx512f -mavx512bw -mavx512vl (guarded below).
+#pragma once
+
+#if !defined(__AVX512F__) || !defined(__AVX512BW__) || !defined(__AVX512VL__)
+#error "avx512_ops.hpp must be compiled with -mavx512f -mavx512bw -mavx512vl"
+#endif
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "simd/avx2_ops.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::simd::avx512 {
+
+// W=16 sliding 2-byte windows from the 32 raw bytes at p (uses p[0..16]).
+// Built from two 256-bit window transforms: lanes 0..7 read the 16 bytes at
+// p, lanes 8..15 the 16 bytes at p+8 — needs only AVX2-style per-lane
+// shuffles, no VBMI.
+inline __m512i windows2(const std::uint8_t* p, __m256i shuffle2) {
+  const __m256i lo = avx2::windows2(p, shuffle2);
+  const __m256i hi = avx2::windows2(p + 8, shuffle2);
+  return _mm512_inserti64x4(_mm512_castsi256_si512(lo), hi, 1);
+}
+
+// W=16 sliding 4-byte windows from the raw bytes at p (uses p[0..18]).
+inline __m512i windows4(const std::uint8_t* p, __m256i shuffle4) {
+  const __m256i lo = avx2::windows4(p, shuffle4);
+  const __m256i hi = avx2::windows4(p + 8, shuffle4);
+  return _mm512_inserti64x4(_mm512_castsi256_si512(lo), hi, 1);
+}
+
+inline __m512i gather_u32(const std::uint8_t* base, __m512i idx) {
+  return _mm512_i32gather_epi32(idx, base, 1);
+}
+
+inline __m512i hash_mul(__m512i v, unsigned out_bits) {
+  const __m512i prod =
+      _mm512_mullo_epi32(v, _mm512_set1_epi32(static_cast<int>(util::kGoldenGamma)));
+  return _mm512_srli_epi32(prod, 32u - out_bits);
+}
+
+// Filter membership test; returns a 16-bit lane mask (native kmask).
+inline std::uint32_t filter_testbits(__m512i words, __m512i vals) {
+  const __m512i amount = _mm512_and_si512(vals, _mm512_set1_epi32(7));
+  const __m512i shifted = _mm512_srlv_epi32(words, amount);
+  const __m512i bit = _mm512_and_si512(shifted, _mm512_set1_epi32(1));
+  return _mm512_test_epi32_mask(bit, bit);
+}
+
+// Compress-store of matching lane positions — AVX-512 has vpcompressd, so no
+// permutation table is needed and only `popcount(mask)` dwords are written.
+inline unsigned leftpack_positions(std::uint32_t base_pos, std::uint32_t mask16,
+                                   std::uint32_t* dst) {
+  const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  const __m512i pos = _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(base_pos)), iota);
+  _mm512_mask_compressstoreu_epi32(dst, static_cast<__mmask16>(mask16), pos);
+  return static_cast<unsigned>(std::popcount(mask16));
+}
+
+}  // namespace vpm::simd::avx512

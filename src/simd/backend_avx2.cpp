@@ -1,0 +1,63 @@
+// Exported AVX2 wrappers over the inline sequences in avx2_ops.hpp, so the
+// unit tests can exercise each primitive against the scalar reference.
+#include "simd/ops.hpp"
+
+#if defined(__AVX2__)
+#include "simd/avx2_ops.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace vpm::simd {
+
+bool avx2_available() { return cpu().has_avx2_kernel(); }
+
+void windows2_avx2(const std::uint8_t* p, std::uint32_t out[8]) {
+  const __m256i w = avx2::windows2(p, avx2::window_shuffle_mask(2));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), w);
+}
+
+void windows4_avx2(const std::uint8_t* p, std::uint32_t out[8]) {
+  const __m256i w = avx2::windows4(p, avx2::window_shuffle_mask(4));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), w);
+}
+
+void gather_u32_avx2(const std::uint8_t* base, const std::uint32_t idx[8],
+                     std::uint32_t out[8]) {
+  const __m256i vidx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+  const __m256i got = avx2::gather_u32(base, vidx);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), got);
+}
+
+void hash_mul_avx2(const std::uint32_t in[8], std::uint32_t out[8], unsigned out_bits) {
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in));
+  const __m256i h = avx2::hash_mul(v, out_bits);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), h);
+}
+
+std::uint32_t filter_testbits_avx2(const std::uint32_t words[8], const std::uint32_t vals[8]) {
+  const __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals));
+  return avx2::filter_testbits(w, v);
+}
+
+unsigned leftpack_positions_avx2(std::uint32_t base_pos, std::uint32_t mask8,
+                                 std::uint32_t* dst) {
+  return avx2::leftpack_positions(base_pos, mask8, dst);
+}
+
+}  // namespace vpm::simd
+
+#else  // compiler cannot target AVX2: conservative stubs
+
+#include <cstdlib>
+
+namespace vpm::simd {
+bool avx2_available() { return false; }
+void windows2_avx2(const std::uint8_t*, std::uint32_t*) { std::abort(); }
+void windows4_avx2(const std::uint8_t*, std::uint32_t*) { std::abort(); }
+void gather_u32_avx2(const std::uint8_t*, const std::uint32_t*, std::uint32_t*) { std::abort(); }
+void hash_mul_avx2(const std::uint32_t*, std::uint32_t*, unsigned) { std::abort(); }
+std::uint32_t filter_testbits_avx2(const std::uint32_t*, const std::uint32_t*) { std::abort(); }
+unsigned leftpack_positions_avx2(std::uint32_t, std::uint32_t, std::uint32_t*) { std::abort(); }
+}  // namespace vpm::simd
+
+#endif

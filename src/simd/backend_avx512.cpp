@@ -1,0 +1,63 @@
+// Exported AVX-512 wrappers over the inline sequences in avx512_ops.hpp.
+#include "simd/ops.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+#include "simd/avx512_ops.hpp"
+#include "simd/cpu_features.hpp"
+
+namespace vpm::simd {
+
+bool avx512_available() { return cpu().has_avx512_kernel(); }
+
+void windows2_avx512(const std::uint8_t* p, std::uint32_t out[16]) {
+  const __m512i w = avx512::windows2(p, avx2::window_shuffle_mask(2));
+  _mm512_storeu_si512(out, w);
+}
+
+void windows4_avx512(const std::uint8_t* p, std::uint32_t out[16]) {
+  const __m512i w = avx512::windows4(p, avx2::window_shuffle_mask(4));
+  _mm512_storeu_si512(out, w);
+}
+
+void gather_u32_avx512(const std::uint8_t* base, const std::uint32_t idx[16],
+                       std::uint32_t out[16]) {
+  const __m512i vidx = _mm512_loadu_si512(idx);
+  const __m512i got = avx512::gather_u32(base, vidx);
+  _mm512_storeu_si512(out, got);
+}
+
+void hash_mul_avx512(const std::uint32_t in[16], std::uint32_t out[16], unsigned out_bits) {
+  const __m512i v = _mm512_loadu_si512(in);
+  const __m512i h = avx512::hash_mul(v, out_bits);
+  _mm512_storeu_si512(out, h);
+}
+
+std::uint32_t filter_testbits_avx512(const std::uint32_t words[16],
+                                     const std::uint32_t vals[16]) {
+  const __m512i w = _mm512_loadu_si512(words);
+  const __m512i v = _mm512_loadu_si512(vals);
+  return avx512::filter_testbits(w, v);
+}
+
+unsigned leftpack_positions_avx512(std::uint32_t base_pos, std::uint32_t mask16,
+                                   std::uint32_t* dst) {
+  return avx512::leftpack_positions(base_pos, mask16, dst);
+}
+
+}  // namespace vpm::simd
+
+#else  // compiler cannot target AVX-512: conservative stubs
+
+#include <cstdlib>
+
+namespace vpm::simd {
+bool avx512_available() { return false; }
+void windows2_avx512(const std::uint8_t*, std::uint32_t*) { std::abort(); }
+void windows4_avx512(const std::uint8_t*, std::uint32_t*) { std::abort(); }
+void gather_u32_avx512(const std::uint8_t*, const std::uint32_t*, std::uint32_t*) { std::abort(); }
+void hash_mul_avx512(const std::uint32_t*, std::uint32_t*, unsigned) { std::abort(); }
+std::uint32_t filter_testbits_avx512(const std::uint32_t*, const std::uint32_t*) { std::abort(); }
+unsigned leftpack_positions_avx512(std::uint32_t, std::uint32_t, std::uint32_t*) { std::abort(); }
+}  // namespace vpm::simd
+
+#endif

@@ -1,0 +1,46 @@
+#include "simd/ops.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::simd {
+
+void windows2_scalar(const std::uint8_t* p, std::uint32_t* out, unsigned w) {
+  for (unsigned j = 0; j < w; ++j) {
+    out[j] = static_cast<std::uint32_t>(p[j]) |
+             (static_cast<std::uint32_t>(p[j + 1]) << 8);
+  }
+}
+
+void windows4_scalar(const std::uint8_t* p, std::uint32_t* out, unsigned w) {
+  for (unsigned j = 0; j < w; ++j) out[j] = util::load_u32(p + j);
+}
+
+void gather_u32_scalar(const std::uint8_t* base, const std::uint32_t* idx,
+                       std::uint32_t* out, unsigned w) {
+  for (unsigned j = 0; j < w; ++j) out[j] = util::load_u32(base + idx[j]);
+}
+
+void hash_mul_scalar(const std::uint32_t* in, std::uint32_t* out, unsigned w,
+                     unsigned out_bits) {
+  for (unsigned j = 0; j < w; ++j) out[j] = util::multiplicative_hash(in[j], out_bits);
+}
+
+std::uint32_t filter_testbits_scalar(const std::uint32_t* words, const std::uint32_t* vals,
+                                     unsigned w) {
+  std::uint32_t mask = 0;
+  for (unsigned j = 0; j < w; ++j) {
+    const std::uint32_t bit = (words[j] >> (vals[j] & 7u)) & 1u;
+    mask |= bit << j;
+  }
+  return mask;
+}
+
+unsigned leftpack_positions_scalar(std::uint32_t base_pos, std::uint32_t mask, unsigned w,
+                                   std::uint32_t* dst) {
+  unsigned n = 0;
+  for (unsigned j = 0; j < w; ++j) {
+    if (mask & (1u << j)) dst[n++] = base_pos + j;
+  }
+  return n;
+}
+
+}  // namespace vpm::simd

@@ -1,0 +1,34 @@
+#include "simd/cpu_features.hpp"
+
+namespace vpm::simd {
+
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.bmi2 = __builtin_cpu_supports("bmi2");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+  f.avx512bw = __builtin_cpu_supports("avx512bw");
+  f.avx512vl = __builtin_cpu_supports("avx512vl");
+  f.avx512dq = __builtin_cpu_supports("avx512dq");
+#endif
+#if !defined(VPM_HAVE_AVX2_BUILD)
+  f.avx2 = false;  // compiler could not build the AVX2 TUs
+#endif
+#if !defined(VPM_HAVE_AVX512_BUILD)
+  f.avx512f = f.avx512bw = f.avx512vl = f.avx512dq = false;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+}  // namespace vpm::simd

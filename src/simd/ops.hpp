@@ -1,0 +1,66 @@
+// Testable SIMD primitives underlying the V-PATCH filtering kernel.
+//
+// Each primitive has a scalar reference implementation plus AVX2 (W=8) and
+// AVX-512 (W=16) versions compiled in ISA-flagged translation units.  The hot
+// kernels in src/core inline the same intrinsic sequences (via
+// simd/avx2_ops.hpp / avx512_ops.hpp); these exported wrappers exist so the
+// sequences are unit-testable against the scalar reference in isolation.
+//
+// Primitive inventory (paper reference):
+//   windows2  — Fig. 2 input transformation: W sliding 2-byte windows
+//   windows4  — same with 4-byte windows (Filter-3 indexes)
+//   gather_u32 — the AVX2/AVX-512 hardware gather at byte offsets
+//   filter_testbits — bit extraction from gathered filter words
+//   leftpack  — compacting matching lane positions into the candidate arrays
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vpm::simd {
+
+// ---- scalar reference (any W) ------------------------------------------
+// out[j] = p[j] | p[j+1]<<8                       (reads p[0..w])
+void windows2_scalar(const std::uint8_t* p, std::uint32_t* out, unsigned w);
+// out[j] = 4-byte little-endian window at p+j     (reads p[0..w+2])
+void windows4_scalar(const std::uint8_t* p, std::uint32_t* out, unsigned w);
+// out[j] = 32-bit little-endian load of base+idx[j] (byte offsets)
+void gather_u32_scalar(const std::uint8_t* base, const std::uint32_t* idx,
+                       std::uint32_t* out, unsigned w);
+// Lane-wise multiplicative hash, identical to util::multiplicative_hash.
+void hash_mul_scalar(const std::uint32_t* in, std::uint32_t* out, unsigned w,
+                     unsigned out_bits);
+// Returns a mask with bit j set iff bit (vals[j] & 7) of the low byte of
+// words[j] is set — i.e. the filter-membership test after a gather, where
+// vals[j] is the window value and words[j] the gathered filter word when the
+// gather used byte offset vals[j] >> 3.
+std::uint32_t filter_testbits_scalar(const std::uint32_t* words, const std::uint32_t* vals,
+                                     unsigned w);
+// Appends base_pos + j for every set bit j of mask to dst; returns count.
+unsigned leftpack_positions_scalar(std::uint32_t base_pos, std::uint32_t mask, unsigned w,
+                                   std::uint32_t* dst);
+
+// ---- AVX2 wrappers (W = 8; reads 16 bytes at p) -------------------------
+bool avx2_available();
+void windows2_avx2(const std::uint8_t* p, std::uint32_t out[8]);
+void windows4_avx2(const std::uint8_t* p, std::uint32_t out[8]);
+void gather_u32_avx2(const std::uint8_t* base, const std::uint32_t idx[8],
+                     std::uint32_t out[8]);
+void hash_mul_avx2(const std::uint32_t in[8], std::uint32_t out[8], unsigned out_bits);
+std::uint32_t filter_testbits_avx2(const std::uint32_t words[8], const std::uint32_t vals[8]);
+unsigned leftpack_positions_avx2(std::uint32_t base_pos, std::uint32_t mask8,
+                                 std::uint32_t* dst);
+
+// ---- AVX-512 wrappers (W = 16; reads 32 bytes at p) ----------------------
+bool avx512_available();
+void windows2_avx512(const std::uint8_t* p, std::uint32_t out[16]);
+void windows4_avx512(const std::uint8_t* p, std::uint32_t out[16]);
+void gather_u32_avx512(const std::uint8_t* base, const std::uint32_t idx[16],
+                       std::uint32_t out[16]);
+void hash_mul_avx512(const std::uint32_t in[16], std::uint32_t out[16], unsigned out_bits);
+std::uint32_t filter_testbits_avx512(const std::uint32_t words[16],
+                                     const std::uint32_t vals[16]);
+unsigned leftpack_positions_avx512(std::uint32_t base_pos, std::uint32_t mask16,
+                                   std::uint32_t* dst);
+
+}  // namespace vpm::simd

@@ -1,0 +1,200 @@
+#include "traffic/http_trace.hpp"
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "pattern/attack_corpus.hpp"
+#include "util/rng.hpp"
+
+namespace vpm::traffic {
+
+namespace {
+
+constexpr std::string_view kHosts[] = {
+    "www.example.com", "cdn.imagehost.net", "mail.corporate.org", "news.daily.io",
+    "shop.retailer.com", "api.service.net", "static.assets.org", "login.portal.edu",
+    "update.vendor.com", "media.stream.tv", "search.engine.info", "blog.writer.me",
+};
+
+constexpr std::string_view kPathSegments[] = {
+    "index", "home", "login", "images", "css", "js", "api", "v1", "v2", "users",
+    "profile", "search", "cart", "checkout", "article", "news", "static", "assets",
+    "download", "upload", "media", "video", "docs", "help", "about", "contact",
+};
+
+constexpr std::string_view kExtensions[] = {
+    ".html", ".php", ".asp", ".jsp", "", ".js", ".css", ".png", ".jpg", ".gif",
+    ".json", ".xml", ".txt", ".pdf", ".zip", ".ico",
+};
+
+constexpr std::string_view kUserAgents[] = {
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "Chrome/91.0.4472.124 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like "
+    "Gecko) Version/14.1 Safari/605.1.15",
+    "Mozilla/5.0 (X11; Linux x86_64; rv:89.0) Gecko/20100101 Firefox/89.0",
+    "Mozilla/4.0 (compatible; MSIE 8.0; Windows NT 6.1)",
+    "curl/7.68.0",
+    "Wget/1.20.3 (linux-gnu)",
+    "python-requests/2.25.1",
+};
+
+constexpr std::string_view kWords[] = {
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was",
+    "for", "on", "are", "as", "with", "his", "they", "at", "be", "this", "have",
+    "from", "or", "one", "had", "by", "word", "but", "not", "what", "all", "were",
+    "we", "when", "your", "can", "said", "there", "use", "an", "each", "which",
+    "she", "do", "how", "their", "if", "will", "up", "other", "about", "out",
+    "many", "then", "them", "these", "so", "some", "her", "would", "make", "like",
+    "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
+    "number", "no", "way", "could", "people", "my", "than", "first", "water",
+    "been", "call", "who", "oil", "its", "now", "find", "long", "down", "day",
+    "did", "get", "come", "made", "may", "part", "server", "client", "request",
+    "response", "page", "error", "data", "user", "account", "session", "content",
+};
+
+constexpr std::string_view kHtmlTags[] = {
+    "<html>", "</html>", "<head>", "</head>", "<body>", "</body>", "<div class=\"",
+    "</div>", "<p>", "</p>", "<a href=\"", "</a>", "<span>", "</span>", "<table>",
+    "</table>", "<tr><td>", "</td></tr>", "<ul><li>", "</li></ul>", "<h1>", "</h1>",
+    "<img src=\"", "\" alt=\"\"/>", "<script src=\"", "\"></script>",
+    "<link rel=\"stylesheet\" href=\"", "\"/>", "<meta charset=\"utf-8\"/>",
+    "<form action=\"", "\" method=\"post\">", "</form>", "<input type=\"text\"",
+};
+
+void append(util::Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string make_uri(util::Rng& rng) {
+  std::string uri = "/";
+  const int segs = static_cast<int>(rng.between(1, 4));
+  for (int i = 0; i < segs; ++i) {
+    uri += kPathSegments[rng.below(std::size(kPathSegments))];
+    if (i + 1 < segs) uri += '/';
+  }
+  uri += kExtensions[rng.below(std::size(kExtensions))];
+  if (rng.chance(0.35)) {  // query string
+    uri += '?';
+    const int params = static_cast<int>(rng.between(1, 3));
+    for (int i = 0; i < params; ++i) {
+      if (i) uri += '&';
+      uri += kWords[rng.below(std::size(kWords))];
+      uri += '=';
+      const int n = static_cast<int>(rng.between(1, 8));
+      for (int j = 0; j < n; ++j) uri += rng.alnum();
+    }
+  }
+  return uri;
+}
+
+void append_text_body(util::Bytes& out, util::Rng& rng, std::size_t approx_len) {
+  const std::size_t start = out.size();
+  while (out.size() - start < approx_len) {
+    if (rng.chance(0.18)) append(out, kHtmlTags[rng.below(std::size(kHtmlTags))]);
+    append(out, kWords[rng.below(std::size(kWords))]);
+    out.push_back(rng.chance(0.12) ? '\n' : ' ');
+  }
+}
+
+void append_binary_body(util::Bytes& out, util::Rng& rng, std::size_t len) {
+  // PNG-ish: magic, then high-entropy bytes with occasional structure.
+  static constexpr std::uint8_t kPngMagic[] = {0x89, 'P', 'N', 'G', 0x0D, 0x0A, 0x1A, 0x0A};
+  out.insert(out.end(), std::begin(kPngMagic), std::end(kPngMagic));
+  for (std::size_t i = 8; i < len; ++i) out.push_back(rng.byte());
+}
+
+void append_request(util::Bytes& out, util::Rng& rng, const HttpTraceConfig& cfg) {
+  const bool post = rng.chance(cfg.post_fraction);
+  append(out, post ? "POST " : (rng.chance(0.06) ? "HEAD " : "GET "));
+  append(out, make_uri(rng));
+  append(out, " HTTP/1.1\r\nHost: ");
+  append(out, kHosts[rng.below(std::size(kHosts))]);
+  append(out, "\r\nUser-Agent: ");
+  append(out, kUserAgents[rng.below(std::size(kUserAgents))]);
+  append(out, "\r\nAccept: text/html,application/xhtml+xml,*/*;q=0.8\r\n");
+  if (rng.chance(0.7)) append(out, "Accept-Encoding: gzip, deflate\r\n");
+  if (rng.chance(0.6)) append(out, "Connection: keep-alive\r\n");
+  if (rng.chance(0.4)) {
+    append(out, "Cookie: session=");
+    for (int i = 0; i < 24; ++i) out.push_back(static_cast<std::uint8_t>(rng.alnum()));
+    append(out, "\r\n");
+  }
+  if (post) {
+    const std::size_t body_len = static_cast<std::size_t>(rng.between(20, 400));
+    append(out, "Content-Type: application/x-www-form-urlencoded\r\nContent-Length: ");
+    append(out, std::to_string(body_len));
+    append(out, "\r\n\r\n");
+    const std::size_t start = out.size();
+    while (out.size() - start < body_len) {
+      append(out, kWords[rng.below(std::size(kWords))]);
+      out.push_back('=');
+      const int n = static_cast<int>(rng.between(1, 10));
+      for (int j = 0; j < n; ++j) out.push_back(static_cast<std::uint8_t>(rng.alnum()));
+      out.push_back('&');
+    }
+  } else {
+    append(out, "\r\n");
+  }
+}
+
+void append_response(util::Bytes& out, util::Rng& rng, const HttpTraceConfig& cfg) {
+  const bool ok = rng.chance(0.85);
+  append(out, ok ? "HTTP/1.1 200 OK\r\n"
+                 : (rng.chance(0.5) ? "HTTP/1.1 404 Not Found\r\n"
+                                    : "HTTP/1.1 302 Found\r\n"));
+  append(out, rng.chance(0.5) ? "Server: Apache/2.4.41 (Ubuntu)\r\n"
+                              : "Server: nginx/1.18.0\r\n");
+  const bool binary = rng.chance(cfg.binary_body_fraction);
+  const std::size_t body_len =
+      static_cast<std::size_t>(binary ? rng.between(400, 8000) : rng.between(100, 4000));
+  append(out, binary ? "Content-Type: image/png\r\n" : "Content-Type: text/html; charset=utf-8\r\n");
+  append(out, "Content-Length: ");
+  append(out, std::to_string(body_len));
+  append(out, "\r\nConnection: keep-alive\r\n\r\n");
+  if (binary) {
+    append_binary_body(out, rng, body_len);
+  } else {
+    append_text_body(out, rng, body_len);
+  }
+}
+
+}  // namespace
+
+HttpTraceConfig iscx_day2_config(std::size_t bytes, std::uint64_t seed) {
+  HttpTraceConfig cfg;
+  cfg.target_bytes = bytes;
+  cfg.seed = seed;
+  cfg.binary_body_fraction = 0.12;
+  cfg.post_fraction = 0.25;
+  cfg.response_fraction = 0.50;
+  return cfg;
+}
+
+HttpTraceConfig iscx_day6_config(std::size_t bytes, std::uint64_t seed) {
+  HttpTraceConfig cfg;
+  cfg.target_bytes = bytes;
+  cfg.seed = seed ^ 0x5157ull;
+  cfg.binary_body_fraction = 0.25;
+  cfg.post_fraction = 0.12;
+  cfg.response_fraction = 0.65;
+  return cfg;
+}
+
+util::Bytes generate_http_trace(const HttpTraceConfig& cfg) {
+  util::Bytes out;
+  out.reserve(cfg.target_bytes + 16384);
+  util::Rng rng(cfg.seed);
+  while (out.size() < cfg.target_bytes) {
+    if (rng.chance(cfg.response_fraction)) {
+      append_response(out, rng, cfg);
+    } else {
+      append_request(out, rng, cfg);
+    }
+  }
+  out.resize(cfg.target_bytes);
+  return out;
+}
+
+}  // namespace vpm::traffic

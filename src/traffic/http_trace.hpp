@@ -1,0 +1,36 @@
+// Synthetic HTTP payload streams — the ISCX-dataset stand-in.
+//
+// What the paper's results actually depend on, and what this generator
+// reproduces:
+//   * HTTP keywords (GET, HTTP, Host, User-Agent, ...) occur at realistic
+//     density, so short patterns fire frequently ("strings like GET and HTTP
+//     ... will frequently be found in real network traffic", §IV-A);
+//   * header/body byte skew (mostly printable ASCII with binary bodies mixed
+//     in), which sets the direct-filter pass rate on long patterns;
+//   * session structure (request/response alternation) rather than uniform
+//     noise.
+// Two profiles stand in for the two ISCX capture days.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpm::traffic {
+
+struct HttpTraceConfig {
+  std::size_t target_bytes = 1 << 20;
+  std::uint64_t seed = 42;
+  double binary_body_fraction = 0.15;  // images/archives among response bodies
+  double post_fraction = 0.20;         // POST vs GET requests
+  double response_fraction = 0.55;     // byte share of responses vs requests
+};
+
+// ISCX "day 2" flavor: request-heavy browsing mix.
+HttpTraceConfig iscx_day2_config(std::size_t bytes, std::uint64_t seed);
+// ISCX "day 6" flavor: response/binary-heavier mix.
+HttpTraceConfig iscx_day6_config(std::size_t bytes, std::uint64_t seed);
+
+util::Bytes generate_http_trace(const HttpTraceConfig& cfg);
+
+}  // namespace vpm::traffic

@@ -1,0 +1,70 @@
+#include "traffic/match_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vpm::traffic {
+
+InjectionReport inject_matches(util::Bytes& trace, const pattern::PatternSet& set,
+                               double fraction, std::uint64_t seed) {
+  InjectionReport report;
+  if (trace.empty() || set.empty() || fraction <= 0.0) return report;
+  fraction = std::min(fraction, 1.0);
+
+  const std::size_t target_bytes =
+      static_cast<std::size_t>(fraction * static_cast<double>(trace.size()));
+
+  // Occupied-interval bookkeeping: a byte-granular bitmap is simplest and the
+  // traces here are at most a few hundred MB.
+  std::vector<bool> occupied(trace.size(), false);
+  util::Rng rng(seed);
+
+  auto try_place = [&](const pattern::Pattern& p, std::size_t pos) {
+    for (std::size_t i = pos; i < pos + p.size(); ++i) {
+      if (occupied[i]) return false;
+    }
+    std::copy(p.bytes.begin(), p.bytes.end(), trace.begin() + static_cast<long>(pos));
+    std::fill(occupied.begin() + static_cast<long>(pos),
+              occupied.begin() + static_cast<long>(pos + p.size()), true);
+    report.injected_bytes += p.size();
+    ++report.injected_copies;
+    return true;
+  };
+
+  // Phase 1: uniform random placement — keeps injected copies spread out.
+  std::size_t failures = 0;
+  const std::size_t max_failures = 16 * 1024;
+  while (report.injected_bytes < target_bytes && failures < max_failures) {
+    const pattern::Pattern& p = set[static_cast<std::uint32_t>(rng.below(set.size()))];
+    if (p.size() > trace.size()) { ++failures; continue; }
+    const std::size_t pos = static_cast<std::size_t>(rng.below(trace.size() - p.size() + 1));
+    if (!try_place(p, pos)) ++failures;
+  }
+
+  // Phase 2: random placement saturates well below 100% coverage; finish
+  // with a linear sweep that drops patterns into the remaining free gaps so
+  // high target fractions (the right side of Fig. 5c) are reachable.
+  if (report.injected_bytes < target_bytes) {
+    std::size_t pos = 0;
+    while (pos < trace.size() && report.injected_bytes < target_bytes) {
+      if (occupied[pos]) { ++pos; continue; }
+      bool placed = false;
+      // A few random draws, then accept any pattern that fits the gap.
+      for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+        const pattern::Pattern& p = set[static_cast<std::uint32_t>(rng.below(set.size()))];
+        if (pos + p.size() <= trace.size()) placed = try_place(p, pos);
+      }
+      pos += placed ? 0 : 1;  // re-check: try_place advanced occupancy
+      if (placed) {
+        while (pos < trace.size() && occupied[pos]) ++pos;
+      }
+    }
+  }
+  report.achieved_fraction =
+      static_cast<double>(report.injected_bytes) / static_cast<double>(trace.size());
+  return report;
+}
+
+}  // namespace vpm::traffic

@@ -1,0 +1,29 @@
+// Match injection — the workload knob for Fig. 5c.
+//
+// The paper "created a synthetic input that contains increasingly more
+// patterns, randomly selected from a ruleset".  The injector overwrites
+// non-overlapping spans of a base trace with pattern bytes until a target
+// fraction of the trace bytes belongs to injected pattern copies.
+#pragma once
+
+#include <cstdint>
+
+#include "pattern/pattern_set.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::traffic {
+
+struct InjectionReport {
+  std::size_t injected_copies = 0;
+  std::size_t injected_bytes = 0;
+  double achieved_fraction = 0.0;  // injected_bytes / trace size
+};
+
+// Overwrites spans of `trace` in place with patterns drawn uniformly from
+// `set`; stops when `fraction` of the bytes are pattern bytes (or when no
+// more space is available).  Injection sites never overlap each other, so
+// every injected copy survives verbatim and is guaranteed to be a match.
+InjectionReport inject_matches(util::Bytes& trace, const pattern::PatternSet& set,
+                               double fraction, std::uint64_t seed);
+
+}  // namespace vpm::traffic

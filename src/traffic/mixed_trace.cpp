@@ -1,0 +1,124 @@
+#include "traffic/mixed_trace.hpp"
+
+#include <string>
+#include <string_view>
+
+#include "traffic/http_trace.hpp"
+#include "util/rng.hpp"
+
+namespace vpm::traffic {
+
+namespace {
+
+void append(util::Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+constexpr std::string_view kFtpFiles[] = {
+    "report.doc", "data.tar.gz", "backup.zip", "readme.txt", "image.jpg",
+    "notes.md", "archive.rar", "firmware.bin", "logs.txt", "export.csv",
+};
+
+constexpr std::string_view kUsers[] = {
+    "alice", "bob", "carol", "dave", "eve", "mallory", "peggy", "trent",
+};
+
+void append_ftp_session(util::Bytes& out, util::Rng& rng) {
+  append(out, "220 FTP server ready\r\nUSER ");
+  append(out, kUsers[rng.below(std::size(kUsers))]);
+  append(out, "\r\n331 Password required\r\nPASS ");
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(rng.alnum()));
+  append(out, "\r\n230 Login successful\r\n");
+  const int cmds = static_cast<int>(rng.between(2, 6));
+  for (int i = 0; i < cmds; ++i) {
+    switch (rng.below(4)) {
+      case 0: append(out, "LIST\r\n150 Opening data connection\r\n226 Transfer complete\r\n"); break;
+      case 1:
+        append(out, "RETR ");
+        append(out, kFtpFiles[rng.below(std::size(kFtpFiles))]);
+        append(out, "\r\n150 Opening BINARY mode\r\n226 Transfer complete\r\n");
+        break;
+      case 2: append(out, "PASV\r\n227 Entering Passive Mode (10,0,0,1,19,136)\r\n"); break;
+      default: append(out, "TYPE I\r\n200 Switching to Binary mode\r\n"); break;
+    }
+  }
+  append(out, "QUIT\r\n221 Goodbye\r\n");
+}
+
+void append_smtp_session(util::Bytes& out, util::Rng& rng) {
+  append(out, "220 mail.example.org ESMTP\r\nEHLO client.example.com\r\n");
+  append(out, "250-mail.example.org\r\n250 OK\r\nMAIL FROM:<");
+  append(out, kUsers[rng.below(std::size(kUsers))]);
+  append(out, "@example.com>\r\n250 OK\r\nRCPT TO:<");
+  append(out, kUsers[rng.below(std::size(kUsers))]);
+  append(out, "@example.org>\r\n250 OK\r\nDATA\r\n354 End data with <CR><LF>.<CR><LF>\r\n");
+  append(out, "Subject: meeting notes\r\nFrom: sender@example.com\r\n\r\n");
+  const int lines = static_cast<int>(rng.between(3, 12));
+  for (int i = 0; i < lines; ++i) {
+    const int words = static_cast<int>(rng.between(4, 12));
+    for (int j = 0; j < words; ++j) {
+      const int n = static_cast<int>(rng.between(2, 9));
+      for (int k = 0; k < n; ++k) out.push_back(static_cast<std::uint8_t>(rng.lower_alpha()));
+      out.push_back(' ');
+    }
+    append(out, "\r\n");
+  }
+  append(out, ".\r\n250 OK queued\r\nQUIT\r\n221 Bye\r\n");
+}
+
+void append_telnet_session(util::Bytes& out, util::Rng& rng) {
+  // IAC negotiation bytes then a shell-ish dialogue.
+  static constexpr std::uint8_t kIac[] = {0xFF, 0xFB, 0x01, 0xFF, 0xFB, 0x03, 0xFF, 0xFD, 0x18};
+  out.insert(out.end(), std::begin(kIac), std::end(kIac));
+  append(out, "login: ");
+  append(out, kUsers[rng.below(std::size(kUsers))]);
+  append(out, "\r\nPassword: \r\nLast login: Mon Jun  8 10:21:33\r\n$ ");
+  const int cmds = static_cast<int>(rng.between(2, 6));
+  for (int i = 0; i < cmds; ++i) {
+    switch (rng.below(5)) {
+      case 0: append(out, "ls -la\r\ntotal 48\r\ndrwxr-xr-x 2 user user 4096 .\r\n$ "); break;
+      case 1: append(out, "ps aux | head\r\nUSER PID %CPU COMMAND\r\n$ "); break;
+      case 2: append(out, "cat /var/log/messages\r\n$ "); break;
+      case 3: append(out, "uname -a\r\nLinux host 4.4.0 x86_64\r\n$ "); break;
+      default: append(out, "netstat -an\r\nActive Internet connections\r\n$ "); break;
+    }
+  }
+  append(out, "exit\r\nlogout\r\n");
+}
+
+void append_binary_transfer(util::Bytes& out, util::Rng& rng) {
+  const std::size_t len = static_cast<std::size_t>(rng.between(500, 6000));
+  for (std::size_t i = 0; i < len; ++i) out.push_back(rng.byte());
+}
+
+}  // namespace
+
+util::Bytes generate_mixed_trace(const MixedTraceConfig& cfg) {
+  util::Bytes out;
+  out.reserve(cfg.target_bytes + 16384);
+  util::Rng rng(cfg.seed);
+  HttpTraceConfig http = iscx_day2_config(1 << 14, cfg.seed);
+  while (out.size() < cfg.target_bytes) {
+    const double u = rng.uniform();
+    if (u < cfg.http_share) {
+      // One request/response pair worth of HTTP.
+      http.seed = rng();
+      const util::Bytes chunk = generate_http_trace(http);
+      const std::size_t take = std::min<std::size_t>(chunk.size(),
+                                                     static_cast<std::size_t>(rng.between(600, 8000)));
+      out.insert(out.end(), chunk.begin(), chunk.begin() + static_cast<long>(take));
+    } else if (u < cfg.http_share + cfg.ftp_share) {
+      append_ftp_session(out, rng);
+    } else if (u < cfg.http_share + cfg.ftp_share + cfg.smtp_share) {
+      append_smtp_session(out, rng);
+    } else if (u < cfg.http_share + cfg.ftp_share + cfg.smtp_share + cfg.telnet_share) {
+      append_telnet_session(out, rng);
+    } else {
+      append_binary_transfer(out, rng);
+    }
+  }
+  out.resize(cfg.target_bytes);
+  return out;
+}
+
+}  // namespace vpm::traffic

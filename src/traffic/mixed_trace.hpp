@@ -1,0 +1,26 @@
+// Multi-protocol payload mix — the DARPA-2000 stand-in.
+//
+// The DARPA capture is older, less HTTP-dominated traffic (telnet, ftp, smtp
+// sessions).  This generator mixes HTTP with command-protocol dialogues and
+// raw binary transfers; the matcher-facing effect is a different short-token
+// density and lower printable skew than the ISCX profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpm::traffic {
+
+struct MixedTraceConfig {
+  std::size_t target_bytes = 1 << 20;
+  std::uint64_t seed = 7;
+  double http_share = 0.45;
+  double ftp_share = 0.15;
+  double smtp_share = 0.15;
+  double telnet_share = 0.15;  // remainder is raw binary transfer
+};
+
+util::Bytes generate_mixed_trace(const MixedTraceConfig& cfg);
+
+}  // namespace vpm::traffic

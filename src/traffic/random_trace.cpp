@@ -1,0 +1,29 @@
+#include "traffic/random_trace.hpp"
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace vpm::traffic {
+
+util::Bytes generate_random_trace(std::size_t bytes, std::uint64_t seed) {
+  util::Bytes out(bytes);
+  util::Rng rng(seed);
+  std::size_t i = 0;
+  // Fill 8 bytes per draw; the tail byte-by-byte.
+  for (; i + 8 <= bytes; i += 8) {
+    const std::uint64_t v = rng();
+    std::memcpy(out.data() + i, &v, 8);
+  }
+  for (; i < bytes; ++i) out[i] = rng.byte();
+  return out;
+}
+
+util::Bytes generate_random_printable_trace(std::size_t bytes, std::uint64_t seed) {
+  util::Bytes out(bytes);
+  util::Rng rng(seed);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.printable());
+  return out;
+}
+
+}  // namespace vpm::traffic

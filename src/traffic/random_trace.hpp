@@ -1,0 +1,15 @@
+// Uniform random byte traces — the paper's "synthetic data set consists of
+// 1GB of randomly generated characters".  Two flavors: raw uniform bytes and
+// uniform printable ASCII.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace vpm::traffic {
+
+util::Bytes generate_random_trace(std::size_t bytes, std::uint64_t seed);
+util::Bytes generate_random_printable_trace(std::size_t bytes, std::uint64_t seed);
+
+}  // namespace vpm::traffic

@@ -1,0 +1,37 @@
+#include "traffic/trace.hpp"
+
+#include "traffic/http_trace.hpp"
+#include "traffic/mixed_trace.hpp"
+#include "traffic/random_trace.hpp"
+
+namespace vpm::traffic {
+
+std::string_view trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::iscx_day2: return "ISCX-day2";
+    case TraceKind::iscx_day6: return "ISCX-day6";
+    case TraceKind::darpa2000: return "DARPA-2000";
+    case TraceKind::random: return "random";
+  }
+  return "?";
+}
+
+util::Bytes generate_trace(TraceKind kind, std::size_t target_bytes, std::uint64_t seed) {
+  switch (kind) {
+    case TraceKind::iscx_day2:
+      return generate_http_trace(iscx_day2_config(target_bytes, seed));
+    case TraceKind::iscx_day6:
+      return generate_http_trace(iscx_day6_config(target_bytes, seed));
+    case TraceKind::darpa2000: {
+      MixedTraceConfig cfg;
+      cfg.target_bytes = target_bytes;
+      cfg.seed = seed;
+      return generate_mixed_trace(cfg);
+    }
+    case TraceKind::random:
+      return generate_random_trace(target_bytes, seed);
+  }
+  return {};
+}
+
+}  // namespace vpm::traffic

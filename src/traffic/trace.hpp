@@ -1,0 +1,28 @@
+// Common trace types for the traffic generators.
+//
+// A trace is the reassembled payload stream the matcher scans (the paper
+// feeds 300 MB - 1 GB of ISCX/DARPA payload per run).  Generators are
+// deterministic functions of (config, seed) so every benchmark row is
+// regenerable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace vpm::traffic {
+
+// The named workloads of the paper's evaluation (§V-A).
+enum class TraceKind : std::uint8_t {
+  iscx_day2,   // HTTP-heavy realistic mix (our HTTP generator, profile A)
+  iscx_day6,   // HTTP-heavy realistic mix (profile B: more responses/binary)
+  darpa2000,   // multi-protocol mix with telnet/ftp/smtp flavor
+  random,      // uniform random bytes
+};
+
+std::string_view trace_kind_name(TraceKind k);
+
+util::Bytes generate_trace(TraceKind kind, std::size_t target_bytes, std::uint64_t seed);
+
+}  // namespace vpm::traffic

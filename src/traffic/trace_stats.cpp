@@ -1,0 +1,39 @@
+#include "traffic/trace_stats.hpp"
+
+#include <cmath>
+
+namespace vpm::traffic {
+
+TraceStats compute_trace_stats(util::ByteView trace) {
+  TraceStats s;
+  s.bytes = trace.size();
+  if (trace.empty()) return s;
+  for (std::uint8_t b : trace) ++s.histogram[b];
+
+  std::uint64_t printable = 0;
+  for (unsigned b = 0; b < 256; ++b) {
+    if (s.histogram[b] == 0) continue;
+    ++s.distinct_bytes;
+    const bool is_printable = (b >= 0x20 && b < 0x7F) || b == '\t' || b == '\r' || b == '\n';
+    if (is_printable) printable += s.histogram[b];
+    const double p = static_cast<double>(s.histogram[b]) / static_cast<double>(s.bytes);
+    s.shannon_entropy_bits -= p * std::log2(p);
+  }
+  s.printable_fraction = static_cast<double>(printable) / static_cast<double>(s.bytes);
+  return s;
+}
+
+double token_density_per_mb(util::ByteView trace, util::ByteView token) {
+  if (token.empty() || trace.size() < token.size()) return 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i + token.size() <= trace.size(); ++i) {
+    bool eq = true;
+    for (std::size_t j = 0; j < token.size(); ++j) {
+      if (trace[i + j] != token[j]) { eq = false; break; }
+    }
+    if (eq) ++count;
+  }
+  return static_cast<double>(count) / (static_cast<double>(trace.size()) / (1024.0 * 1024.0));
+}
+
+}  // namespace vpm::traffic

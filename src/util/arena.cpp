@@ -1,0 +1,16 @@
+#include "util/arena.hpp"
+
+#include <stdexcept>
+
+namespace vpm::util {
+
+std::uint32_t ByteArena::add(std::span<const std::uint8_t> bytes) {
+  if (storage_.size() + bytes.size() > UINT32_MAX) {
+    throw std::length_error("ByteArena: 4 GiB capacity exceeded");
+  }
+  const auto offset = static_cast<std::uint32_t>(storage_.size());
+  storage_.insert(storage_.end(), bytes.begin(), bytes.end());
+  return offset;
+}
+
+}  // namespace vpm::util

@@ -1,0 +1,35 @@
+// Byte arena with stable offsets.
+//
+// The compact verification tables keep thousands of variable-length patterns;
+// storing each as its own vector would scatter them across the heap and add a
+// pointer dereference to every verification probe.  The arena packs all
+// pattern bytes into one contiguous block and hands out integral offsets that
+// stay valid across growth (unlike raw pointers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vpm::util {
+
+class ByteArena {
+ public:
+  // Appends a copy of `bytes`; returns its offset within the arena.
+  std::uint32_t add(std::span<const std::uint8_t> bytes);
+
+  const std::uint8_t* at(std::uint32_t offset) const { return storage_.data() + offset; }
+  std::span<const std::uint8_t> view(std::uint32_t offset, std::size_t len) const {
+    return {storage_.data() + offset, len};
+  }
+
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  void reserve(std::size_t n) { storage_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> storage_;
+};
+
+}  // namespace vpm::util

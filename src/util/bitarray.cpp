@@ -1,0 +1,18 @@
+#include "util/bitarray.hpp"
+
+#include <bit>
+
+namespace vpm::util {
+
+std::size_t BitArray::popcount() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : bytes_) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+double BitArray::occupancy() const {
+  if (bits_ == 0) return 0.0;
+  return static_cast<double>(popcount()) / static_cast<double>(bits_);
+}
+
+}  // namespace vpm::util

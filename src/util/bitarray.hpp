@@ -1,0 +1,49 @@
+// Fixed-size bit array backing the cache-resident direct filters.
+//
+// The filters in DFC / S-PATCH / V-PATCH are bitmaps indexed by a 2-byte
+// window value (64K bits = 8 KB) or by a hash of a 4-byte window.  The SIMD
+// filtering kernels gather 32-bit words from the byte storage at arbitrary
+// byte offsets, so the storage is allocated with trailing slack to keep such
+// over-reads in bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpm::util {
+
+class BitArray {
+ public:
+  // Trailing bytes kept valid beyond the last addressable index so that a
+  // 4-byte gather at the final byte offset stays in allocated memory.
+  static constexpr std::size_t kGatherSlack = 8;
+
+  BitArray() = default;
+  explicit BitArray(std::size_t bit_count)
+      : bits_(bit_count), bytes_((bit_count + 7) / 8 + kGatherSlack, 0) {}
+
+  std::size_t bit_size() const { return bits_; }
+  std::size_t byte_size() const { return bytes_.empty() ? 0 : bytes_.size() - kGatherSlack; }
+
+  void set(std::size_t i) { bytes_[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7)); }
+  void clear(std::size_t i) { bytes_[i >> 3] &= static_cast<std::uint8_t>(~(1u << (i & 7))); }
+  bool test(std::size_t i) const { return (bytes_[i >> 3] >> (i & 7)) & 1u; }
+
+  void reset() { std::fill(bytes_.begin(), bytes_.end(), std::uint8_t{0}); }
+
+  // Raw byte storage, for the gather-based kernels.
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::uint8_t* data() { return bytes_.data(); }
+
+  // Number of set bits; filters report this as occupancy.
+  std::size_t popcount() const;
+  // Fraction of set bits in [0,1]; 0 for an empty array.
+  double occupancy() const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace vpm::util

@@ -1,0 +1,51 @@
+#include "util/byte_io.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace vpm::util {
+
+std::string escape_bytes(ByteView b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size());
+  for (std::uint8_t c : b) {
+    if (c >= 0x20 && c < 0x7F && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out += "\\x";
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+Bytes read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  Bytes data(size > 0 ? static_cast<std::size_t>(size) : 0);
+  if (!data.empty() && std::fread(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short read: " + path);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file(const std::string& path, ByteView data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("cannot open file for write: " + path);
+  if (!data.empty() && std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    std::fclose(f);
+    throw std::runtime_error("short write: " + path);
+  }
+  std::fclose(f);
+}
+
+}  // namespace vpm::util

@@ -1,0 +1,14 @@
+// Whole-file byte I/O for loading rulesets and writing generated traces.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace vpm::util {
+
+// Reads an entire file; throws std::runtime_error on failure.
+Bytes read_file(const std::string& path);
+void write_file(const std::string& path, ByteView data);
+
+}  // namespace vpm::util

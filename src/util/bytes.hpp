@@ -1,0 +1,62 @@
+// Small byte-buffer helpers shared across modules: ASCII case folding used by
+// nocase patterns, and conversions between strings and byte spans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpm::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline ByteView as_view(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+// ASCII-only lowercase; byte values outside 'A'..'Z' pass through unchanged.
+// Snort content matching is ASCII case-insensitive, never locale-dependent.
+constexpr std::uint8_t ascii_lower(std::uint8_t c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<std::uint8_t>(c + 32) : c;
+}
+constexpr std::uint8_t ascii_upper(std::uint8_t c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<std::uint8_t>(c - 32) : c;
+}
+constexpr bool ascii_ieq(std::uint8_t a, std::uint8_t b) {
+  return ascii_lower(a) == ascii_lower(b);
+}
+
+inline Bytes lowered(ByteView b) {
+  Bytes out(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = ascii_lower(b[i]);
+  return out;
+}
+
+// memcmp-like equality with optional ASCII case folding.
+inline bool bytes_equal(const std::uint8_t* a, const std::uint8_t* b, std::size_t n,
+                        bool case_insensitive) {
+  if (!case_insensitive) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (a[i] != b[i]) return false;
+    return true;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    if (!ascii_ieq(a[i], b[i])) return false;
+  return true;
+}
+
+// Printable rendering for logs/alerts: non-printable bytes become \xHH.
+std::string escape_bytes(ByteView b);
+
+}  // namespace vpm::util

@@ -1,0 +1,36 @@
+// Streaming summary statistics (Welford) used by the benchmark harness to
+// report mean throughput and standard deviation over independent runs, as the
+// paper does ("10 independent runs ... average ... standard deviation").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vpm::util {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch helpers for when all samples are retained anyway.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+// Linear-interpolated percentile, p in [0,100]. Sorts a copy.
+double percentile_of(std::vector<double> xs, double p);
+
+}  // namespace vpm::util

@@ -1,0 +1,33 @@
+// Wall-clock timing and throughput accounting for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace vpm::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// The paper reports throughput in Gbps (gigabits per second of payload).
+inline double gbps(std::size_t bytes, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / seconds / 1e9;
+}
+
+inline double mbps(std::size_t bytes, double seconds) { return gbps(bytes, seconds) * 1e3; }
+
+}  // namespace vpm::util

@@ -1,0 +1,123 @@
+#include "wm/wu_manber.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::wm {
+
+namespace {
+
+std::uint32_t folded_block(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(util::ascii_lower(p[0])) |
+         (static_cast<std::uint32_t>(util::ascii_lower(p[1])) << 8);
+}
+
+}  // namespace
+
+WuManberMatcher::WuManberMatcher(const pattern::PatternSet& set) : set_(&set) {
+  // Partition: block-searched (len >= 2) vs direct short patterns (len 1).
+  m_ = SIZE_MAX;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() < kBlock) {
+      has_short_patterns_ = true;
+      const std::uint8_t b = p.bytes[0];
+      short_by_byte_[b].push_back(p.id);
+      if (p.nocase) {
+        const std::uint8_t other =
+            util::ascii_lower(b) == b ? util::ascii_upper(b) : util::ascii_lower(b);
+        if (other != b) short_by_byte_[other].push_back(p.id);
+      }
+    } else {
+      has_block_patterns_ = true;
+      m_ = std::min(m_, p.size());
+    }
+  }
+  if (!has_block_patterns_) {
+    m_ = 0;
+    return;
+  }
+
+  // Shift table: for every folded 2-byte block, how far the search window may
+  // jump.  Default shift = m - 1 (block absent from every pattern prefix).
+  const std::size_t default_shift = m_ - kBlock + 1;
+  shift_.assign(1u << 16, static_cast<std::uint8_t>(std::min<std::size_t>(default_shift, 255)));
+
+  struct Keyed {
+    std::uint32_t block;
+    std::uint32_t id;
+  };
+  std::vector<Keyed> zero_shift;
+  for (const pattern::Pattern& p : set) {
+    if (p.size() < kBlock) continue;
+    // Consider only the first m bytes of each pattern (classic WM).
+    for (std::size_t j = 0; j + kBlock <= m_; ++j) {
+      const std::uint32_t block = folded_block(p.bytes.data() + j);
+      const std::size_t shift = m_ - kBlock - j;
+      shift_[block] = static_cast<std::uint8_t>(
+          std::min<std::size_t>(shift_[block], shift));
+      if (shift == 0) zero_shift.push_back({block, p.id});
+    }
+  }
+
+  std::stable_sort(zero_shift.begin(), zero_shift.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.block < b.block; });
+  bucket_offsets_.assign((1u << 16) + 1, 0);
+  candidates_.reserve(zero_shift.size());
+  for (const Keyed& k : zero_shift) {
+    ++bucket_offsets_[k.block + 1];
+    candidates_.push_back(k.id);
+  }
+  for (std::size_t i = 1; i < bucket_offsets_.size(); ++i) {
+    bucket_offsets_[i] += bucket_offsets_[i - 1];
+  }
+}
+
+void WuManberMatcher::scan_short(util::ByteView data, MatchSink& sink) const {
+  if (!has_short_patterns_) return;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::uint32_t id : short_by_byte_[data[i]]) sink.on_match({id, i});
+  }
+}
+
+void WuManberMatcher::scan_block(util::ByteView data, MatchSink& sink) const {
+  if (!has_block_patterns_ || data.size() < m_) return;
+  const std::uint8_t* d = data.data();
+  const std::size_t n = data.size();
+  std::size_t i = m_ - kBlock;  // window end-block position
+  while (i + kBlock <= n) {
+    const std::uint32_t block = folded_block(d + i);
+    const std::uint8_t shift = shift_[block];
+    if (shift != 0) {
+      i += shift;
+      continue;
+    }
+    // Candidate window: patterns whose bytes [m-2, m) fold to this block
+    // start at position i - (m - 2).
+    const std::size_t start = i - (m_ - kBlock);
+    for (std::uint32_t e = bucket_offsets_[block]; e < bucket_offsets_[block + 1]; ++e) {
+      const pattern::Pattern& p = (*set_)[candidates_[e]];
+      if (start + p.size() > n) continue;
+      if (util::bytes_equal(d + start, p.bytes.data(), p.size(), true)) {
+        // Folded match; exact-case patterns verify raw bytes.
+        if (p.nocase || util::bytes_equal(d + start, p.bytes.data(), p.size(), false)) {
+          sink.on_match({p.id, start});
+        }
+      }
+    }
+    ++i;
+  }
+}
+
+void WuManberMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  scan_short(data, sink);
+  scan_block(data, sink);
+}
+
+std::size_t WuManberMatcher::memory_bytes() const {
+  return shift_.size() + bucket_offsets_.size() * sizeof(std::uint32_t) +
+         candidates_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace vpm::wm

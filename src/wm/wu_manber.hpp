@@ -1,0 +1,53 @@
+// Wu-Manber multi-pattern matcher (related-work baseline, paper §VI-A).
+//
+// Classic bad-block-shift search over 2-byte blocks: most windows skip
+// several input bytes, which is why WM shines on long patterns and — as the
+// paper notes — "performs poorly with short patterns".  Patterns shorter
+// than the block size fall back to a per-byte direct check pass, preserving
+// exact output equivalence with the other engines.
+//
+// Like the AC automaton, the tables are built over case-folded bytes;
+// case-sensitive patterns verify raw bytes on a hit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::wm {
+
+class WuManberMatcher final : public Matcher {
+ public:
+  explicit WuManberMatcher(const pattern::PatternSet& set);
+
+  void scan(util::ByteView data, MatchSink& sink) const override;
+  std::string_view name() const override { return "Wu-Manber"; }
+  std::size_t memory_bytes() const override;
+
+  std::size_t min_block_pattern_length() const { return m_; }
+
+ private:
+  static constexpr std::size_t kBlock = 2;  // shift-block size in bytes
+
+  void scan_short(util::ByteView data, MatchSink& sink) const;
+  void scan_block(util::ByteView data, MatchSink& sink) const;
+
+  const pattern::PatternSet* set_;
+  // Shift table over folded 2-byte blocks (64 K entries).
+  std::vector<std::uint8_t> shift_;
+  // Candidate lists for blocks with shift 0, CSR keyed by the folded block
+  // value of the pattern's bytes [m-2, m).
+  std::vector<std::uint32_t> bucket_offsets_;
+  std::vector<std::uint32_t> candidates_;
+  std::size_t m_ = 0;  // min length among block-searched patterns
+  // Patterns with size() < kBlock, checked by the direct pass: matching ids
+  // per raw input byte value.
+  std::array<std::vector<std::uint32_t>, 256> short_by_byte_;
+  bool has_short_patterns_ = false;
+  bool has_block_patterns_ = false;
+};
+
+}  // namespace vpm::wm

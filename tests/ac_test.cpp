@@ -1,0 +1,201 @@
+// Aho-Corasick tests: trie construction, both automaton variants, textbook
+// cases, overlap semantics, and randomized differential checks vs naive.
+#include <gtest/gtest.h>
+
+#include "ac/ac_full.hpp"
+#include "ac/ac_sparse.hpp"
+#include "ac/trie.hpp"
+#include "helpers.hpp"
+
+namespace vpm::ac {
+namespace {
+
+using testutil::classic_set;
+using testutil::expect_matches_naive;
+
+TEST(Trie, StateCountMatchesDistinctPrefixes) {
+  // he, she, his, hers -> root + h,e | s,h,e | i,s | r,s = 10 states.
+  const Trie trie(classic_set());
+  EXPECT_EQ(trie.state_count(), 10u);
+}
+
+TEST(Trie, RootFallbackOnUnknownByte) {
+  const Trie trie(classic_set());
+  EXPECT_EQ(trie.next_state(0, 'z'), 0u);
+}
+
+TEST(Trie, GotoFollowsPatternBytes) {
+  const Trie trie(classic_set());
+  std::uint32_t s = 0;
+  for (char c : std::string("she")) {
+    s = trie.next_state(s, static_cast<std::uint8_t>(c));
+    EXPECT_NE(s, 0u);
+  }
+  // "she" end state must output both "she" and (via fail) "he".
+  std::size_t outputs = 0;
+  for (std::uint32_t n = s; n != kNoState; n = trie.nodes()[n].report_link) {
+    outputs += trie.nodes()[n].outputs.size();
+  }
+  EXPECT_EQ(outputs, 2u);
+}
+
+template <typename M>
+class AcVariants : public ::testing::Test {};
+
+using Variants = ::testing::Types<AcFullMatcher, AcSparseMatcher>;
+TYPED_TEST_SUITE(AcVariants, Variants);
+
+TYPED_TEST(AcVariants, ClassicUshersExample) {
+  pattern::PatternSet set;
+  const auto he = set.add("he");
+  const auto she = set.add("she");
+  set.add("his");
+  const auto hers = set.add("hers");
+  const TypeParam m(set);
+  const auto matches = m.find_matches(util::as_view("ushers"));
+  // "ushers" contains she@1, he@2, hers@2; sorted by (id, pos):
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{he, 2}));
+  EXPECT_EQ(matches[1], (Match{she, 1}));
+  EXPECT_EQ(matches[2], (Match{hers, 2}));
+}
+
+TYPED_TEST(AcVariants, ClassicExampleAgainstOracle) {
+  const auto set = classic_set();
+  const TypeParam m(set);
+  expect_matches_naive(m, set, util::as_view("ushers"));
+  expect_matches_naive(m, set, util::as_view("shishers"));
+  expect_matches_naive(m, set, util::as_view("hehehehe"));
+}
+
+TYPED_TEST(AcVariants, EmptyInputNoMatches) {
+  const auto set = classic_set();
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches({}), 0u);
+}
+
+TYPED_TEST(AcVariants, InputShorterThanAnyPattern) {
+  pattern::PatternSet set;
+  set.add("abcdef");
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("abc")), 0u);
+}
+
+TYPED_TEST(AcVariants, SingleBytePatterns) {
+  pattern::PatternSet set;
+  set.add("a");
+  set.add("z");
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("banana")), 3u);
+  expect_matches_naive(m, set, util::as_view("azazaz"));
+}
+
+TYPED_TEST(AcVariants, OverlappingOccurrences) {
+  pattern::PatternSet set;
+  set.add("aa");
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("aaaa")), 3u);
+}
+
+TYPED_TEST(AcVariants, PatternIsSuffixOfAnother) {
+  pattern::PatternSet set;
+  set.add("dabc");
+  set.add("abc");
+  set.add("bc");
+  set.add("c");
+  const TypeParam m(set);
+  expect_matches_naive(m, set, util::as_view("xdabcx"));
+}
+
+TYPED_TEST(AcVariants, NocaseMatchesAllCases) {
+  pattern::PatternSet set;
+  set.add("Attack", true);
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("ATTACK attack AtTaCk")), 3u);
+}
+
+TYPED_TEST(AcVariants, CaseSensitiveRejectsWrongCase) {
+  pattern::PatternSet set;
+  set.add("Attack", false);
+  const TypeParam m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("ATTACK attack Attack")), 1u);
+}
+
+TYPED_TEST(AcVariants, MixedCaseSensitivitySameBytes) {
+  pattern::PatternSet set;
+  const auto exact = set.add("get", false);
+  const auto folded = set.add("get", true);
+  const TypeParam m(set);
+  const auto matches = m.find_matches(util::as_view("GET get"));
+  // "GET" matches only the nocase pattern; "get" matches both.
+  // Sorted by (pattern_id, pos): exact@4, folded@0, folded@4.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{exact, 4}));
+  EXPECT_EQ(matches[1], (Match{folded, 0}));
+  EXPECT_EQ(matches[2], (Match{folded, 4}));
+}
+
+TYPED_TEST(AcVariants, BinaryPatternsWithNulAndHighBytes) {
+  pattern::PatternSet set;
+  set.add(util::Bytes{0x00, 0x90, 0xFF});
+  set.add(util::Bytes{0x90, 0x90});
+  const TypeParam m(set);
+  const util::Bytes data{0x41, 0x00, 0x90, 0xFF, 0x90, 0x90, 0x90};
+  expect_matches_naive(m, set, data);
+}
+
+TYPED_TEST(AcVariants, MatchAtVeryStartAndEnd) {
+  pattern::PatternSet set;
+  set.add("begin");
+  set.add("end");
+  const TypeParam m(set);
+  const auto matches = m.find_matches(util::as_view("beginxxxend"));
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].pos, 0u);
+  EXPECT_EQ(matches[1].pos, 8u);
+}
+
+TYPED_TEST(AcVariants, LongPattern) {
+  pattern::PatternSet set;
+  const std::string longpat(300, 'x');
+  set.add(longpat);
+  const TypeParam m(set);
+  const std::string hay = "yy" + longpat + "yy";
+  EXPECT_EQ(m.count_matches(util::as_view(hay)), 1u);
+}
+
+TYPED_TEST(AcVariants, RandomizedDifferentialSmall) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto set = testutil::random_set(40, 6, seed);
+    const TypeParam m(set);
+    const auto text = testutil::random_text(2000, seed + 100);
+    expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(AcFull, MemoryGrowsWithPatternCount) {
+  const auto small = testutil::random_set(50, 12, 1, 26);
+  const auto large = testutil::random_set(500, 12, 2, 26);
+  const AcFullMatcher a(small);
+  const AcFullMatcher b(large);
+  EXPECT_GT(b.memory_bytes(), a.memory_bytes());
+  EXPECT_GT(b.state_count(), a.state_count());
+}
+
+TEST(AcFull, SparseUsesLessMemoryThanFull) {
+  const auto set = testutil::random_set(500, 16, 3, 26);
+  const AcFullMatcher full(set);
+  const AcSparseMatcher sparse(set);
+  EXPECT_LT(sparse.memory_bytes(), full.memory_bytes());
+}
+
+TEST(AcFull, FullAndSparseAgreeOnRealisticSet) {
+  const auto set = testutil::random_set(200, 10, 4);
+  const AcFullMatcher full(set);
+  const AcSparseMatcher sparse(set);
+  const auto text = testutil::random_text(20000, 5);
+  EXPECT_EQ(full.find_matches(text), sparse.find_matches(text));
+}
+
+}  // namespace
+}  // namespace vpm::ac

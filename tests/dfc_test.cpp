@@ -1,0 +1,295 @@
+// DFC substrate tests: direct filters, compact tables, scalar DFC and
+// Vector-DFC end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include "dfc/compact_table.hpp"
+#include "dfc/dfc.hpp"
+#include "dfc/direct_filter.hpp"
+#include "dfc/vector_dfc.hpp"
+#include "helpers.hpp"
+#include "simd/cpu_features.hpp"
+#include "util/hash.hpp"
+
+namespace vpm::dfc {
+namespace {
+
+using testutil::expect_matches_naive;
+
+pattern::Pattern make_pattern(std::string_view text, bool nocase = false) {
+  pattern::Pattern p;
+  p.bytes = util::to_bytes(text);
+  p.nocase = nocase;
+  return p;
+}
+
+// ---- DirectFilter2B -----------------------------------------------------
+
+TEST(DirectFilter2B, SetsExactPrefixBit) {
+  DirectFilter2B f;
+  f.add_pattern_prefix(make_pattern("GET"));
+  EXPECT_TRUE(f.test(util::load_u16(util::to_bytes("GE").data())));
+  EXPECT_FALSE(f.test(util::load_u16(util::to_bytes("ge").data())));
+  EXPECT_FALSE(f.test(util::load_u16(util::to_bytes("GX").data())));
+}
+
+TEST(DirectFilter2B, NocaseSetsAllCaseVariants) {
+  DirectFilter2B f;
+  f.add_pattern_prefix(make_pattern("ab", true));
+  for (const char* v : {"ab", "Ab", "aB", "AB"}) {
+    EXPECT_TRUE(f.test(util::load_u16(util::to_bytes(v).data()))) << v;
+  }
+  EXPECT_FALSE(f.test(util::load_u16(util::to_bytes("ac").data())));
+}
+
+TEST(DirectFilter2B, OneBytePatternWildcardsSecondByte) {
+  DirectFilter2B f;
+  f.add_pattern_prefix(make_pattern("Q"));
+  for (unsigned second = 0; second < 256; ++second) {
+    EXPECT_TRUE(f.test('Q' | (second << 8))) << second;
+  }
+  EXPECT_FALSE(f.test('R' | (0u << 8)));
+}
+
+TEST(DirectFilter2B, OccupancyReflectsInsertions) {
+  DirectFilter2B f;
+  EXPECT_DOUBLE_EQ(f.occupancy(), 0.0);
+  f.add_pattern_prefix(make_pattern("xy"));
+  EXPECT_NEAR(f.occupancy(), 1.0 / 65536, 1e-9);
+}
+
+// ---- HashedFilter4B --------------------------------------------------------
+
+TEST(HashedFilter4B, AcceptsItsOwnPrefix) {
+  HashedFilter4B f(16);
+  f.add_pattern_prefix(make_pattern("EVIL-PATTERN"));
+  EXPECT_TRUE(f.test(util::load_u32(util::to_bytes("EVIL").data())));
+}
+
+TEST(HashedFilter4B, NocaseVariantsAllPass) {
+  HashedFilter4B f(16);
+  f.add_pattern_prefix(make_pattern("evil-stuff", true));
+  for (const char* v : {"evil", "EVIL", "eViL", "Evil"}) {
+    EXPECT_TRUE(f.test(util::load_u32(util::to_bytes(v).data()))) << v;
+  }
+}
+
+TEST(HashedFilter4B, MostForeignPrefixesRejected) {
+  HashedFilter4B f(16);
+  f.add_pattern_prefix(make_pattern("ABCDEFGH"));
+  util::Rng rng(1);
+  int false_positives = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (f.test(static_cast<std::uint32_t>(rng()))) ++false_positives;
+  }
+  // One bit set out of 2^16: expected fp rate ~1/65536.
+  EXPECT_LT(false_positives, 10);
+}
+
+TEST(HashedFilter4B, SmallerFilterHasMoreCollisions) {
+  HashedFilter4B big(16), small(8);
+  const auto set = testutil::random_set(300, 12, 9, 26);
+  for (const auto& p : set) {
+    if (p.size() >= 4) {
+      big.add_pattern_prefix(p);
+      small.add_pattern_prefix(p);
+    }
+  }
+  EXPECT_GT(small.occupancy(), big.occupancy());
+}
+
+// ---- compact tables ---------------------------------------------------------
+
+TEST(ShortTable, VerifiesOnlyShortFamily) {
+  pattern::PatternSet set;
+  set.add("ab");
+  set.add("abcdef");  // long family: not in the short table
+  const ShortTable table(set);
+  EXPECT_EQ(table.pattern_count(), 1u);
+  CollectingSink sink;
+  const auto data = util::to_bytes("abcdef");
+  table.verify_at(data, 0, sink);
+  ASSERT_EQ(sink.matches().size(), 1u);
+  EXPECT_EQ(sink.matches()[0].pattern_id, 0u);
+}
+
+TEST(ShortTable, ReportsAllLengthsAtSamePosition) {
+  pattern::PatternSet set;
+  set.add("a");
+  set.add("ab");
+  set.add("abc");
+  const ShortTable table(set);
+  CollectingSink sink;
+  const auto data = util::to_bytes("abcd");
+  table.verify_at(data, 0, sink);
+  EXPECT_EQ(sink.matches().size(), 3u);
+}
+
+TEST(ShortTable, RespectsBufferEnd) {
+  pattern::PatternSet set;
+  set.add("ab");
+  set.add("a");
+  const ShortTable table(set);
+  CollectingSink sink;
+  const auto data = util::to_bytes("za");
+  table.verify_at(data, 1, sink);  // only "a" fits
+  ASSERT_EQ(sink.matches().size(), 1u);
+  EXPECT_EQ(sink.matches()[0].pattern_id, 1u);
+}
+
+TEST(ShortTable, NocaseReportedOncePerPosition) {
+  pattern::PatternSet set;
+  set.add("ab", true);
+  const ShortTable table(set);
+  for (const char* text : {"ab", "Ab", "aB", "AB"}) {
+    CollectingSink sink;
+    const auto data = util::to_bytes(text);
+    table.verify_at(data, 0, sink);
+    EXPECT_EQ(sink.matches().size(), 1u) << text;
+  }
+}
+
+TEST(LongTable, ExactPrefixRejectsNeighbors) {
+  pattern::PatternSet set;
+  set.add("attack-vector");
+  set.add("attribute=1");
+  const LongTable table(set);
+  CollectingSink sink;
+  const auto data = util::to_bytes("attack-vector attribute=1");
+  table.verify_at(data, 0, sink);
+  ASSERT_EQ(sink.matches().size(), 1u);
+  EXPECT_EQ(sink.matches()[0].pattern_id, 0u);
+  table.verify_at(data, 14, sink);
+  EXPECT_EQ(sink.matches().size(), 2u);
+}
+
+TEST(LongTable, NocaseEntriesFindAllCasings) {
+  pattern::PatternSet set;
+  set.add("select", true);
+  const LongTable table(set);
+  for (const char* text : {"select", "SELECT", "SeLeCt"}) {
+    CollectingSink sink;
+    const auto data = util::to_bytes(text);
+    table.verify_at(data, 0, sink);
+    EXPECT_EQ(sink.matches().size(), 1u) << text;
+  }
+}
+
+TEST(LongTable, PositionNearEndIsSafe) {
+  pattern::PatternSet set;
+  set.add("abcd");
+  const LongTable table(set);
+  CollectingSink sink;
+  const auto data = util::to_bytes("xabc");
+  table.verify_at(data, 1, sink);  // only 3 bytes remain
+  EXPECT_TRUE(sink.matches().empty());
+  table.verify_at(data, 4, sink);  // out of range entirely
+  EXPECT_TRUE(sink.matches().empty());
+}
+
+TEST(LongTable, DuplicatePrefixesShareBucket) {
+  pattern::PatternSet set;
+  set.add("prefix-one");
+  set.add("prefix-two");
+  set.add("prefix-three");
+  const LongTable table(set);
+  CollectingSink sink;
+  const auto data = util::to_bytes("prefix-three");
+  table.verify_at(data, 0, sink);
+  ASSERT_EQ(sink.matches().size(), 1u);
+  EXPECT_EQ(sink.matches()[0].pattern_id, 2u);
+}
+
+TEST(LongTable, MeanBucketOccupancyReasonable) {
+  const auto set = testutil::random_set(2000, 16, 10, 26);
+  const LongTable table(set, 15);
+  EXPECT_LT(table.mean_bucket_entries(), 4.0);
+}
+
+// ---- DFC end-to-end -----------------------------------------------------------
+
+TEST(Dfc, BoundarySetAgainstOracle) {
+  const auto set = testutil::boundary_set();
+  const DfcMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("xabcdex GET http/1.1"));
+  expect_matches_naive(m, set, testutil::random_text(4000, 77));
+}
+
+TEST(Dfc, RandomizedDifferential) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto set = testutil::random_set(60, 8, seed);
+    const DfcMatcher m(set);
+    const auto text = testutil::random_text(3000, seed + 50);
+    expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(Dfc, EmptyInput) {
+  const auto set = testutil::boundary_set();
+  const DfcMatcher m(set);
+  EXPECT_EQ(m.count_matches({}), 0u);
+}
+
+TEST(Dfc, SingleByteInput) {
+  pattern::PatternSet set;
+  set.add("a");
+  set.add("ab");
+  const DfcMatcher m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("a")), 1u);
+  EXPECT_EQ(m.count_matches(util::as_view("b")), 0u);
+}
+
+TEST(Dfc, MatchAtLastPosition) {
+  pattern::PatternSet set;
+  set.add("x");
+  const DfcMatcher m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("aaax")), 1u);
+}
+
+TEST(Dfc, FilterMemoryIsCacheSized) {
+  const auto set = testutil::random_set(1000, 12, 11, 26);
+  const DfcMatcher m(set);
+  // Three 8 KB direct filters + tables; the filters alone must stay tiny.
+  EXPECT_EQ(3 * DirectFilter2B::kBits / 8, 3u * 8192u);
+  EXPECT_GT(m.memory_bytes(), 3u * 8192u);
+}
+
+// ---- Vector-DFC ------------------------------------------------------------------
+
+class VectorDfc : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!simd::cpu().has_avx2_kernel()) GTEST_SKIP() << "AVX2 not available";
+  }
+};
+
+TEST_F(VectorDfc, AgreesWithScalarDfcOnRandomText) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto set = testutil::random_set(60, 8, seed);
+    const DfcMatcher scalar(set);
+    const VectorDfcMatcher vec(set);
+    const auto text = testutil::random_text(5000, seed + 10);
+    EXPECT_EQ(vec.find_matches(text), scalar.find_matches(text)) << "seed " << seed;
+  }
+}
+
+TEST_F(VectorDfc, BoundarySetAgainstOracle) {
+  const auto set = testutil::boundary_set();
+  const VectorDfcMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("abcde GET xyz"));
+}
+
+TEST_F(VectorDfc, AllInputLengthsNearVectorBoundary) {
+  // Sweep lengths 0..48 to cover scalar-tail vs vector-loop transitions.
+  pattern::PatternSet set;
+  set.add("ab");
+  set.add("a");
+  set.add("bcde");
+  const VectorDfcMatcher m(set);
+  for (std::size_t len = 0; len <= 48; ++len) {
+    const auto text = testutil::random_text(len, len * 31 + 7, 5);
+    expect_matches_naive(m, set, text, "len=" + std::to_string(len));
+  }
+}
+
+}  // namespace
+}  // namespace vpm::dfc

@@ -1,0 +1,202 @@
+// Cross-engine differential suite: every algorithm must report the identical
+// match multiset ("producing the same output as Aho-Corasick", §IV-A2) on
+// every workload class — the library's central correctness property.
+#include <gtest/gtest.h>
+
+#include "core/matcher_factory.hpp"
+#include "helpers.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "traffic/match_injector.hpp"
+#include "traffic/trace.hpp"
+
+namespace vpm {
+namespace {
+
+struct DiffCase {
+  std::string name;
+  std::size_t pattern_count;
+  std::size_t max_pattern_len;
+  std::size_t text_len;
+  unsigned alphabet;
+  std::uint64_t seed;
+};
+
+class EngineEquivalence
+    : public ::testing::TestWithParam<std::tuple<core::Algorithm, DiffCase>> {};
+
+std::vector<core::Algorithm> engines_under_test() {
+  std::vector<core::Algorithm> out;
+  for (core::Algorithm a : core::available_algorithms()) {
+    if (a != core::Algorithm::naive) out.push_back(a);
+  }
+  return out;
+}
+
+const std::vector<DiffCase>& diff_cases() {
+  static const std::vector<DiffCase> cases{
+      {"dense_tiny_alphabet", 60, 6, 3000, 3, 1},
+      {"sparse_wide_alphabet", 60, 10, 3000, 26, 2},
+      {"many_short_patterns", 120, 3, 2500, 5, 3},
+      {"long_patterns_only", 40, 24, 4000, 6, 4},
+      {"single_pattern", 1, 8, 2000, 4, 5},
+      {"tiny_text", 50, 6, 30, 4, 6},
+  };
+  return cases;
+}
+
+TEST_P(EngineEquivalence, MatchesOracle) {
+  const auto [algo, dc] = GetParam();
+  const auto set = testutil::random_set(dc.pattern_count, dc.max_pattern_len, dc.seed,
+                                        dc.alphabet);
+  const auto text = testutil::random_text(dc.text_len, dc.seed + 1000, dc.alphabet);
+  const MatcherPtr m = core::make_matcher(algo, set);
+  testutil::expect_matches_naive(*m, set, text, dc.name);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<core::Algorithm, DiffCase>>& info) {
+  std::string n = std::string(core::algorithm_name(std::get<0>(info.param))) + "_" +
+                  std::get<1>(info.param).name;
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnginesAllCases, EngineEquivalence,
+                         ::testing::Combine(::testing::ValuesIn(engines_under_test()),
+                                            ::testing::ValuesIn(diff_cases())),
+                         param_name);
+
+// ---- realistic-workload equivalence (generated rulesets + traces) ----------
+
+class RealisticEquivalence : public ::testing::TestWithParam<core::Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, RealisticEquivalence,
+                         ::testing::ValuesIn(engines_under_test()),
+                         [](const auto& info) {
+                           std::string n{core::algorithm_name(info.param)};
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(RealisticEquivalence, GeneratedRulesetOnHttpTrace) {
+  pattern::RulesetConfig cfg;
+  cfg.count = 300;
+  cfg.seed = 77;
+  const auto set = pattern::generate_ruleset(cfg);
+  auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 16, 7);
+  traffic::inject_matches(trace, set, 0.01, 8);
+
+  const MatcherPtr engine = core::make_matcher(GetParam(), set);
+  const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+}
+
+TEST_P(RealisticEquivalence, GeneratedRulesetOnMixedTrace) {
+  pattern::RulesetConfig cfg;
+  cfg.count = 300;
+  cfg.seed = 78;
+  const auto set = pattern::generate_ruleset(cfg);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::darpa2000, 1 << 16, 9);
+
+  const MatcherPtr engine = core::make_matcher(GetParam(), set);
+  const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+}
+
+TEST_P(RealisticEquivalence, RandomBinaryTrace) {
+  pattern::RulesetConfig cfg;
+  cfg.count = 200;
+  cfg.seed = 79;
+  cfg.binary_fraction = 0.5;
+  const auto set = pattern::generate_ruleset(cfg);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::random, 1 << 16, 10);
+
+  const MatcherPtr engine = core::make_matcher(GetParam(), set);
+  const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+}
+
+// ---- adversarial micro-cases ---------------------------------------------------
+
+class AdversarialCases : public ::testing::TestWithParam<core::Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, AdversarialCases, ::testing::ValuesIn(engines_under_test()),
+                         [](const auto& info) {
+                           std::string n{core::algorithm_name(info.param)};
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(AdversarialCases, SharedPrefixFamilies) {
+  // attack / attribute: the paper's own false-positive example for Filter 2.
+  pattern::PatternSet set;
+  set.add("attack");
+  set.add("attribute");
+  set.add("att");
+  set.add("at");
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  testutil::expect_matches_naive(*m, set,
+                                 util::as_view("the attacker set an attribute at attic"));
+}
+
+TEST_P(AdversarialCases, PatternEqualsWholeInput) {
+  pattern::PatternSet set;
+  set.add("exactinput");
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  EXPECT_EQ(m->count_matches(util::as_view("exactinput")), 1u);
+}
+
+TEST_P(AdversarialCases, RepeatedPatternBackToBack) {
+  pattern::PatternSet set;
+  set.add("abab");
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  // "abababab": matches at 0,2,4.
+  EXPECT_EQ(m->count_matches(util::as_view("abababab")), 3u);
+}
+
+TEST_P(AdversarialCases, AllBytesIdentical) {
+  pattern::PatternSet set;
+  set.add("aaaa");
+  set.add("aa");
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  const std::string text(100, 'a');
+  testutil::expect_matches_naive(*m, set, util::as_view(text));
+}
+
+TEST_P(AdversarialCases, NocaseAndExactVariantsOfSameBytes) {
+  pattern::PatternSet set;
+  set.add("Select", false);
+  set.add("Select", true);
+  set.add("select", false);
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  testutil::expect_matches_naive(*m, set, util::as_view("select SELECT Select sElEcT"));
+}
+
+TEST_P(AdversarialCases, HighBytePatterns) {
+  pattern::PatternSet set;
+  set.add(util::Bytes{0xFF, 0xFF});
+  set.add(util::Bytes{0xFE});
+  set.add(util::Bytes{0x80, 0x81, 0x82, 0x83, 0x84});
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  util::Bytes text;
+  for (int i = 0; i < 400; ++i) text.push_back(static_cast<std::uint8_t>(0x7E + (i % 10)));
+  text.insert(text.end(), {0xFF, 0xFF, 0xFE, 0x80, 0x81, 0x82, 0x83, 0x84});
+  testutil::expect_matches_naive(*m, set, text);
+}
+
+TEST_P(AdversarialCases, MatchEveryPosition) {
+  // Pattern "aa" in "aaaa...": a match starts at every position; stresses
+  // candidate-array growth and verification throughput.
+  pattern::PatternSet set;
+  set.add("aa");
+  const MatcherPtr m = core::make_matcher(GetParam(), set);
+  const std::string text(5000, 'a');
+  EXPECT_EQ(m->count_matches(util::as_view(text)), 4999u);
+}
+
+}  // namespace
+}  // namespace vpm

@@ -1,0 +1,84 @@
+// Shared test fixtures: small pattern sets, random workloads, and the
+// engine-equivalence assertion used across the differential suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/naive.hpp"
+#include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
+#include "util/rng.hpp"
+
+namespace vpm::testutil {
+
+// The canonical AC textbook example plus overlap-heavy extras.
+inline pattern::PatternSet classic_set() {
+  pattern::PatternSet set;
+  set.add("he");
+  set.add("she");
+  set.add("his");
+  set.add("hers");
+  return set;
+}
+
+// Mixed-length, mixed-case set covering every family boundary (1..5 bytes).
+inline pattern::PatternSet boundary_set() {
+  pattern::PatternSet set;
+  set.add("a");                    // 1B
+  set.add("ab");                   // 2B
+  set.add("abc");                  // 3B short-family max
+  set.add("abcd");                 // 4B long-family min
+  set.add("abcde");                // 5B
+  set.add("GET", true);            // nocase short
+  set.add("HTTP/1.1", true);       // nocase long
+  set.add(util::Bytes{0x00, 0x01});       // binary incl. NUL
+  set.add(util::Bytes{0xFF, 0xFE, 0xFD, 0xFC, 0xFB});
+  return set;
+}
+
+// Deterministic random pattern set: lengths in [1, max_len], byte values
+// drawn from a narrow alphabet so matches actually occur in random text.
+inline pattern::PatternSet random_set(std::size_t count, std::size_t max_len,
+                                      std::uint64_t seed, unsigned alphabet = 4) {
+  pattern::PatternSet set;
+  util::Rng rng(seed);
+  std::size_t guard = 0;
+  while (set.size() < count && guard++ < count * 50) {
+    const std::size_t len = 1 + rng.below(max_len);
+    util::Bytes b(len);
+    for (auto& c : b) c = static_cast<std::uint8_t>('a' + rng.below(alphabet));
+    set.add(std::move(b), rng.chance(0.3));
+  }
+  return set;
+}
+
+// Random text over the same narrow alphabet (plus occasional uppercase).
+inline util::Bytes random_text(std::size_t len, std::uint64_t seed, unsigned alphabet = 4) {
+  util::Bytes b(len);
+  util::Rng rng(seed);
+  for (auto& c : b) {
+    const char base = rng.chance(0.25) ? 'A' : 'a';
+    c = static_cast<std::uint8_t>(base + rng.below(alphabet));
+  }
+  return b;
+}
+
+// Asserts that `matcher` reports exactly the ground-truth match multiset.
+inline void expect_matches_naive(const Matcher& matcher, const pattern::PatternSet& set,
+                                 util::ByteView data, const std::string& context = {}) {
+  const core::NaiveMatcher oracle(set);
+  const auto expected = oracle.find_matches(data);
+  const auto actual = matcher.find_matches(data);
+  ASSERT_EQ(actual.size(), expected.size())
+      << context << " [" << matcher.name() << "] match count mismatch";
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i])
+        << context << " [" << matcher.name() << "] first divergence at index " << i
+        << " (pattern " << expected[i].pattern_id << " pos " << expected[i].pos << ")";
+  }
+}
+
+}  // namespace vpm::testutil

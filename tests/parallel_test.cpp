@@ -1,0 +1,93 @@
+// Parallel scan tests: thread-count invariance, boundary attribution, and
+// equivalence with single-threaded scanning for every engine.
+#include <gtest/gtest.h>
+
+#include "core/matcher_factory.hpp"
+#include "core/parallel_scan.hpp"
+#include "helpers.hpp"
+
+namespace vpm::core {
+namespace {
+
+TEST(ParallelScan, MatchesSingleThreadResult) {
+  const auto set = testutil::random_set(80, 10, 1);
+  const auto m = make_matcher(Algorithm::vpatch, set);
+  const auto text = testutil::random_text(300000, 2);
+  const auto expected = m->find_matches(text);
+  for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+    ParallelScanConfig cfg;
+    cfg.threads = threads;
+    cfg.max_pattern_len = set.max_pattern_length();
+    EXPECT_EQ(parallel_find_matches(*m, text, cfg), expected) << threads << " threads";
+    EXPECT_EQ(parallel_count_matches(*m, text, cfg), expected.size()) << threads;
+  }
+}
+
+TEST(ParallelScan, BoundaryStraddlingMatchAttributedOnce) {
+  pattern::PatternSet set;
+  set.add("straddler");
+  const auto m = make_matcher(Algorithm::spatch, set);
+  // Large input so the splitter actually uses >1 segment; matches planted
+  // everywhere, including exactly at segment boundaries for 2 threads.
+  std::string text(400000, '.');
+  const std::size_t half = text.size() / 2;
+  for (std::size_t pos : {std::size_t{0}, half - 9, half - 4, half, half + 1,
+                          text.size() - 9}) {
+    text.replace(pos, 9, "straddler");
+  }
+  ParallelScanConfig cfg;
+  cfg.threads = 2;
+  cfg.max_pattern_len = 9;
+  const auto matches = parallel_find_matches(*m, util::as_view(text), cfg);
+  EXPECT_EQ(matches.size(), m->find_matches(util::as_view(text)).size());
+}
+
+TEST(ParallelScan, EveryEngineAgrees) {
+  const auto set = testutil::random_set(50, 8, 3);
+  const auto text = testutil::random_text(200000, 4);
+  ParallelScanConfig cfg;
+  cfg.threads = 3;
+  cfg.max_pattern_len = set.max_pattern_length();
+  const auto reference = make_matcher(Algorithm::aho_corasick, set)->find_matches(text);
+  for (Algorithm a : available_algorithms()) {
+    if (a == Algorithm::naive) continue;
+    const auto m = make_matcher(a, set);
+    EXPECT_EQ(parallel_find_matches(*m, text, cfg), reference) << m->name();
+  }
+}
+
+TEST(ParallelScan, SmallInputFallsBackToSingleThread) {
+  const auto set = testutil::boundary_set();
+  const auto m = make_matcher(Algorithm::spatch, set);
+  const auto text = testutil::random_text(100, 5);
+  ParallelScanConfig cfg;
+  cfg.threads = 8;
+  cfg.max_pattern_len = set.max_pattern_length();
+  EXPECT_EQ(parallel_find_matches(*m, text, cfg), m->find_matches(text));
+}
+
+TEST(ParallelScan, EmptyInput) {
+  const auto set = testutil::boundary_set();
+  const auto m = make_matcher(Algorithm::spatch, set);
+  ParallelScanConfig cfg;
+  cfg.threads = 4;
+  EXPECT_TRUE(parallel_find_matches(*m, {}, cfg).empty());
+  EXPECT_EQ(parallel_count_matches(*m, {}, cfg), 0u);
+}
+
+TEST(ParallelScan, OverestimatedMaxLenIsSafe) {
+  const auto set = testutil::random_set(40, 6, 6);
+  const auto m = make_matcher(Algorithm::vpatch, set);
+  const auto text = testutil::random_text(200000, 7);
+  ParallelScanConfig exact;
+  exact.threads = 2;
+  exact.max_pattern_len = set.max_pattern_length();
+  ParallelScanConfig generous;
+  generous.threads = 2;
+  generous.max_pattern_len = 4096;
+  EXPECT_EQ(parallel_find_matches(*m, text, exact),
+            parallel_find_matches(*m, text, generous));
+}
+
+}  // namespace
+}  // namespace vpm::core

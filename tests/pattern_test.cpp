@@ -1,0 +1,364 @@
+// Pattern substrate tests: model, set semantics, Snort rule parsing,
+// prefix-variant enumeration, and the S1/S2 generator statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pattern/attack_corpus.hpp"
+#include "pattern/pattern_set.hpp"
+#include "pattern/prefix.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "pattern/snort_rules.hpp"
+
+namespace vpm::pattern {
+namespace {
+
+// ---- Pattern ----------------------------------------------------------------
+
+TEST(Pattern, MatchesAtExact) {
+  PatternSet set;
+  const auto id = set.add("GET");
+  const auto data = util::to_bytes("xxGETyy");
+  EXPECT_TRUE(set[id].matches_at(data, 2));
+  EXPECT_FALSE(set[id].matches_at(data, 1));
+  EXPECT_FALSE(set[id].matches_at(data, 5));  // would run past the end
+}
+
+TEST(Pattern, MatchesAtNocase) {
+  PatternSet set;
+  const auto id = set.add("GeT", /*nocase=*/true);
+  EXPECT_TRUE(set[id].matches_at(util::to_bytes("xget"), 1));
+  EXPECT_TRUE(set[id].matches_at(util::to_bytes("xGET"), 1));
+  EXPECT_FALSE(set[id].matches_at(util::to_bytes("xGEX"), 1));
+}
+
+TEST(Pattern, CaseSensitiveDoesNotFold) {
+  PatternSet set;
+  const auto id = set.add("GET", /*nocase=*/false);
+  EXPECT_FALSE(set[id].matches_at(util::to_bytes("get"), 0));
+}
+
+TEST(Pattern, GroupNames) {
+  EXPECT_EQ(group_name(Group::http), "http");
+  EXPECT_EQ(group_name(Group::generic), "generic");
+  EXPECT_EQ(group_name(Group::dns), "dns");
+}
+
+// ---- PatternSet -----------------------------------------------------------------
+
+TEST(PatternSet, AssignsDenseIds) {
+  PatternSet set;
+  EXPECT_EQ(set.add("a"), 0u);
+  EXPECT_EQ(set.add("b"), 1u);
+  EXPECT_EQ(set.add("c"), 2u);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(PatternSet, DeduplicatesIdenticalPatterns) {
+  PatternSet set;
+  const auto id1 = set.add("attack");
+  const auto id2 = set.add("attack");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(PatternSet, NocaseVariantIsDistinct) {
+  PatternSet set;
+  const auto a = set.add("attack", false);
+  const auto b = set.add("attack", true);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PatternSet, RejectsEmptyPattern) {
+  PatternSet set;
+  EXPECT_THROW(set.add(util::Bytes{}), std::invalid_argument);
+}
+
+TEST(PatternSet, LengthStats) {
+  PatternSet set;
+  set.add("a");          // 1, short
+  set.add("ab");         // 2, short
+  set.add("abc");        // 3, short
+  set.add("abcd");       // 4, long (but counts in 1..4)
+  set.add("abcdefgh");   // 8, long
+  const LengthStats s = set.length_stats();
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_EQ(s.short_family, 3u);
+  EXPECT_EQ(s.long_family, 2u);
+  EXPECT_EQ(s.min_len, 1u);
+  EXPECT_EQ(s.max_len, 8u);
+  EXPECT_NEAR(s.frac_len_1_to_4, 0.8, 1e-12);
+}
+
+TEST(PatternSet, FilterGroupsKeepsOnlyRequested) {
+  PatternSet set;
+  set.add("web1", false, Group::http);
+  set.add("gen1", false, Group::generic);
+  set.add("dns1", false, Group::dns);
+  const PatternSet web = set.web_patterns();
+  EXPECT_EQ(web.size(), 2u);
+  EXPECT_TRUE(web.contains(util::as_view("web1"), false));
+  EXPECT_TRUE(web.contains(util::as_view("gen1"), false));
+  EXPECT_FALSE(web.contains(util::as_view("dns1"), false));
+}
+
+TEST(PatternSet, RandomSubsetDeterministicAndDistinct) {
+  PatternSet set;
+  for (int i = 0; i < 100; ++i) set.add("pattern-" + std::to_string(i));
+  const PatternSet a = set.random_subset(30, 7);
+  const PatternSet b = set.random_subset(30, 7);
+  ASSERT_EQ(a.size(), 30u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[static_cast<std::uint32_t>(i)].bytes, b[static_cast<std::uint32_t>(i)].bytes);
+  }
+  const PatternSet c = set.random_subset(30, 8);
+  bool identical = true;
+  for (std::size_t i = 0; i < c.size() && identical; ++i) {
+    identical = (a[static_cast<std::uint32_t>(i)].bytes == c[static_cast<std::uint32_t>(i)].bytes);
+  }
+  EXPECT_FALSE(identical) << "different seeds should give different subsets";
+}
+
+TEST(PatternSet, RandomSubsetClampsToSize) {
+  PatternSet set;
+  set.add("one");
+  EXPECT_EQ(set.random_subset(10, 1).size(), 1u);
+}
+
+// ---- prefix variants ---------------------------------------------------------
+
+TEST(PrefixVariants, CaseSensitiveSingleVariant) {
+  const auto b = util::to_bytes("Ab");
+  const auto vs = prefix_variants({b.data(), 2}, false);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0], 0x6241u);  // 'A' | 'b'<<8
+}
+
+TEST(PrefixVariants, NocaseForksAlphabeticBytesOnly) {
+  const auto b = util::to_bytes("a1");
+  const auto vs = prefix_variants({b.data(), 2}, true);
+  ASSERT_EQ(vs.size(), 2u);  // 'a1' and 'A1'
+  std::set<std::uint32_t> s(vs.begin(), vs.end());
+  EXPECT_TRUE(s.contains(0x3161u));
+  EXPECT_TRUE(s.contains(0x3141u));
+}
+
+TEST(PrefixVariants, FourAlphaBytesGiveSixteenVariants) {
+  const auto b = util::to_bytes("abcd");
+  const auto vs = prefix_variants({b.data(), 4}, true);
+  EXPECT_EQ(vs.size(), 16u);
+  std::set<std::uint32_t> s(vs.begin(), vs.end());
+  EXPECT_EQ(s.size(), 16u) << "variants must be distinct";
+}
+
+TEST(PrefixVariants, NonAlphaNocaseStaysSingle) {
+  const auto b = util::to_bytes("1234");
+  const auto vs = prefix_variants({b.data(), 4}, true);
+  EXPECT_EQ(vs.size(), 1u);
+}
+
+// ---- snort rule parsing ---------------------------------------------------------
+
+TEST(SnortRules, ParsesSimpleContent) {
+  ParsedRule rule;
+  ASSERT_TRUE(parse_rule_line(
+      R"(alert tcp any any -> any $HTTP_PORTS (msg:"test"; content:"attack"; sid:1;))", rule));
+  ASSERT_EQ(rule.contents.size(), 1u);
+  EXPECT_EQ(util::to_string(rule.contents[0].bytes), "attack");
+  EXPECT_FALSE(rule.contents[0].nocase);
+  EXPECT_EQ(rule.group, Group::http);
+  EXPECT_EQ(rule.msg, "test");
+}
+
+TEST(SnortRules, ParsesHexContent) {
+  ParsedRule rule;
+  ASSERT_TRUE(parse_rule_line(
+      R"(alert tcp any any -> any any (content:"|90 90 C3|"; sid:2;))", rule));
+  ASSERT_EQ(rule.contents.size(), 1u);
+  EXPECT_EQ(rule.contents[0].bytes, (util::Bytes{0x90, 0x90, 0xC3}));
+}
+
+TEST(SnortRules, ParsesMixedTextAndHex) {
+  ParsedRule rule;
+  ASSERT_TRUE(parse_rule_line(
+      R"(alert tcp any any -> any any (content:"GET|20|/admin"; sid:3;))", rule));
+  EXPECT_EQ(util::to_string(rule.contents[0].bytes), "GET /admin");
+}
+
+TEST(SnortRules, NocaseAppliesToPrecedingContent) {
+  ParsedRule rule;
+  ASSERT_TRUE(parse_rule_line(
+      R"(alert tcp any any -> any any (content:"cmd"; nocase; content:"exe"; sid:4;))", rule));
+  ASSERT_EQ(rule.contents.size(), 2u);
+  EXPECT_TRUE(rule.contents[0].nocase);
+  EXPECT_FALSE(rule.contents[1].nocase);
+}
+
+TEST(SnortRules, EscapedQuoteInsideContent) {
+  ParsedRule rule;
+  ASSERT_TRUE(parse_rule_line(
+      R"(alert tcp any any -> any any (content:"say \"hi\""; sid:5;))", rule));
+  EXPECT_EQ(util::to_string(rule.contents[0].bytes), "say \"hi\"");
+}
+
+TEST(SnortRules, SkipsCommentsAndBlanks) {
+  ParsedRule rule;
+  EXPECT_FALSE(parse_rule_line("# comment line", rule));
+  EXPECT_FALSE(parse_rule_line("", rule));
+  EXPECT_FALSE(parse_rule_line("   \t  ", rule));
+}
+
+TEST(SnortRules, SkipsRuleWithoutContent) {
+  ParsedRule rule;
+  EXPECT_FALSE(parse_rule_line(
+      R"(alert icmp any any -> any any (msg:"ping"; sid:6;))", rule));
+}
+
+TEST(SnortRules, NegatedContentIgnored) {
+  ParsedRule rule;
+  EXPECT_FALSE(parse_rule_line(
+      R"(alert tcp any any -> any any (content:!"benign"; sid:7;))", rule));
+}
+
+TEST(SnortRules, MalformedHexThrows) {
+  ParsedRule rule;
+  EXPECT_THROW(parse_rule_line(
+      R"(alert tcp any any -> any any (content:"|9X|"; sid:8;))", rule),
+      std::invalid_argument);
+}
+
+TEST(SnortRules, ParseRulesCountsSkipped) {
+  const std::string text =
+      "# header\n"
+      "alert tcp any any -> any 80 (content:\"a1b2\"; sid:1;)\n"
+      "alert tcp any any -> any any (content:\"|ZZ|\"; sid:2;)\n"
+      "alert tcp any any -> any 25 (content:\"EHLO evil\"; sid:3;)\n";
+  std::size_t skipped = 0;
+  const auto rules = parse_rules(text, &skipped);
+  EXPECT_EQ(rules.size(), 2u);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(rules[0].group, Group::http);
+  EXPECT_EQ(rules[1].group, Group::smtp);
+}
+
+TEST(SnortRules, LongestOnlySelection) {
+  const std::string text =
+      R"(alert tcp any any -> any any (content:"ab"; content:"abcdef"; sid:1;))";
+  const PatternSet set = patterns_from_rules(text, ContentSelection::kLongestOnly);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(util::to_string(set[0].bytes), "abcdef");
+}
+
+TEST(SnortRules, AllContentsSelection) {
+  const std::string text =
+      R"(alert tcp any any -> any any (content:"ab"; content:"abcdef"; sid:1;))";
+  const PatternSet set = patterns_from_rules(text, ContentSelection::kAll);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SnortRules, RenderRoundTrips) {
+  PatternSet original;
+  original.add("GET /evil", true, Group::http);
+  original.add(util::Bytes{0x00, 0xFF, 0x41}, false, Group::generic);
+  original.add("EHLO spam", false, Group::smtp);
+  const std::string text = render_rules(original);
+  const PatternSet parsed = patterns_from_rules(text, ContentSelection::kAll);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (const Pattern& p : original) {
+    EXPECT_TRUE(parsed.contains(p.bytes, p.nocase)) << p.printable();
+  }
+}
+
+// ---- corpus -----------------------------------------------------------------------
+
+TEST(AttackCorpus, NonEmptyAndShortTokensShort) {
+  EXPECT_GT(attack_strings().size(), 100u);
+  EXPECT_GT(short_tokens().size(), 30u);
+  for (const auto t : short_tokens()) {
+    EXPECT_GE(t.size(), 1u);
+    EXPECT_LE(t.size(), 4u) << t;
+  }
+}
+
+TEST(AttackCorpus, ContainsPaperExamples) {
+  // The paper motivates the short-pattern filter with GET/HTTP tokens.
+  const auto tokens = short_tokens();
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "GET"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "HTTP"), tokens.end());
+}
+
+// ---- ruleset generator --------------------------------------------------------------
+
+TEST(RulesetGen, ExactCountAndDeterminism) {
+  RulesetConfig cfg;
+  cfg.count = 500;
+  cfg.seed = 11;
+  const PatternSet a = generate_ruleset(cfg);
+  const PatternSet b = generate_ruleset(cfg);
+  ASSERT_EQ(a.size(), 500u);
+  ASSERT_EQ(b.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << i;
+    EXPECT_EQ(a[i].nocase, b[i].nocase) << i;
+    EXPECT_EQ(a[i].group, b[i].group) << i;
+  }
+}
+
+TEST(RulesetGen, ShortFractionTracksSnortStatistic) {
+  RulesetConfig cfg;
+  cfg.count = 4000;
+  cfg.seed = 3;
+  const LengthStats s = generate_ruleset(cfg).length_stats();
+  // Paper footnote 2: 21% of Snort's patterns are 1-4 bytes.
+  EXPECT_NEAR(s.frac_len_1_to_4, 0.21, 0.05);
+}
+
+TEST(RulesetGen, S1PresetWebSubsetNear2K) {
+  const PatternSet s1 = generate_ruleset(s1_config());
+  EXPECT_EQ(s1.size(), 2500u);
+  const std::size_t web = s1.web_patterns().size();
+  EXPECT_GT(web, 1700u);
+  EXPECT_LT(web, 2300u);
+}
+
+TEST(RulesetGen, DifferentSeedsDiffer) {
+  RulesetConfig a_cfg;
+  a_cfg.count = 200;
+  a_cfg.seed = 1;
+  RulesetConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  const PatternSet a = generate_ruleset(a_cfg);
+  const PatternSet b = generate_ruleset(b_cfg);
+  std::size_t common = 0;
+  for (const Pattern& p : a) {
+    if (b.contains(p.bytes, p.nocase)) ++common;
+  }
+  EXPECT_LT(common, 150u) << "seeds should not produce near-identical sets";
+}
+
+TEST(RulesetGen, PatternsAreNonEmptyAndBounded) {
+  RulesetConfig cfg;
+  cfg.count = 1000;
+  cfg.seed = 5;
+  for (const Pattern& p : generate_ruleset(cfg)) {
+    EXPECT_GE(p.size(), 1u);
+    EXPECT_LE(p.size(), 200u);
+  }
+}
+
+TEST(RulesetGen, NocaseOnlyOnTextPatterns) {
+  RulesetConfig cfg;
+  cfg.count = 1000;
+  cfg.seed = 6;
+  for (const Pattern& p : generate_ruleset(cfg)) {
+    if (!p.nocase) continue;
+    for (std::uint8_t b : p.bytes) {
+      EXPECT_TRUE(b >= 0x20 && b < 0x7F) << "nocase pattern must be printable text";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpm::pattern

@@ -1,0 +1,111 @@
+// Traffic-profiling / filter-planning tests (the paper's future-work hook).
+#include <gtest/gtest.h>
+
+#include "core/spatch.hpp"
+#include "core/traffic_profile.hpp"
+#include "helpers.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "traffic/http_trace.hpp"
+#include "traffic/random_trace.hpp"
+
+namespace vpm::core {
+namespace {
+
+TEST(TrafficProfile, CountsEveryWindow) {
+  const auto text = util::to_bytes("abcab");
+  const TrafficProfile p = profile_traffic(text);
+  EXPECT_EQ(p.total_windows, 4u);
+  EXPECT_EQ(p.window2_counts[util::load_u16(util::to_bytes("ab").data())], 2u);
+  EXPECT_EQ(p.window2_counts[util::load_u16(util::to_bytes("bc").data())], 1u);
+  EXPECT_EQ(p.window2_counts[util::load_u16(util::to_bytes("ca").data())], 1u);
+}
+
+TEST(TrafficProfile, FrequencySumsToOne) {
+  const auto trace = traffic::generate_http_trace(traffic::iscx_day2_config(1 << 16, 1));
+  const TrafficProfile p = profile_traffic(trace);
+  double sum = 0.0;
+  for (std::uint32_t w = 0; w < (1u << 16); ++w) sum += p.frequency(w);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(TrafficProfile, AccumulateEqualsOneShot) {
+  const auto a = testutil::random_text(5000, 1);
+  const TrafficProfile whole = profile_traffic(a);
+  TrafficProfile split;
+  accumulate_profile(split, {a.data(), 2000});
+  accumulate_profile(split, {a.data() + 2000, 3000});
+  // Split profiling misses the one window straddling the cut.
+  EXPECT_EQ(split.total_windows + 1, whole.total_windows);
+}
+
+TEST(TrafficProfile, TinySamplesAreSafe) {
+  EXPECT_EQ(profile_traffic({}).total_windows, 0u);
+  const auto one = util::to_bytes("x");
+  EXPECT_EQ(profile_traffic(one).total_windows, 0u);
+  EXPECT_EQ(TrafficProfile{}.frequency(0), 0.0);
+}
+
+TEST(FilterPlan, PredictsExactShortRate) {
+  // Single short pattern "ab" on traffic that is 50% "ab" windows.
+  pattern::PatternSet set;
+  set.add("ab");
+  const auto text = util::to_bytes("abababab");
+  const TrafficProfile p = profile_traffic(text);
+  const FilterPlan plan = plan_filters(set, p);
+  // Windows: ab,ba,ab,ba,ab,ba,ab -> 4/7 are "ab".
+  EXPECT_NEAR(plan.f1_hit_rate, 4.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.f2_hit_rate, 0.0);
+}
+
+TEST(FilterPlan, PredictionMatchesMeasuredCandidates) {
+  // The planner's expected F1/F2 rates are exact expectations over the
+  // profiled traffic; measured candidate counts must agree closely when the
+  // profile IS the scanned traffic.
+  const auto set = testutil::random_set(200, 10, 7);
+  const auto trace = traffic::generate_http_trace(traffic::iscx_day2_config(1 << 18, 8));
+  const TrafficProfile profile = profile_traffic(trace);
+  const FilterPlan plan = plan_filters(set, profile);
+
+  const SpatchMatcher m(set);
+  const auto counts = m.filter_only(trace, false);
+  const double measured_f1 =
+      static_cast<double>(counts.short_candidates) / static_cast<double>(trace.size() - 1);
+  EXPECT_NEAR(measured_f1, plan.f1_hit_rate, 0.01);
+}
+
+TEST(FilterPlan, LargerTargetAllowsSmallerFilter) {
+  const auto set = testutil::random_set(2000, 12, 9, 26);
+  const auto trace = traffic::generate_http_trace(traffic::iscx_day2_config(1 << 16, 10));
+  const TrafficProfile profile = profile_traffic(trace);
+  const FilterPlan strict = plan_filters(set, profile, 0.001);
+  const FilterPlan loose = plan_filters(set, profile, 0.5);
+  EXPECT_GE(strict.f3_bits_log2, loose.f3_bits_log2);
+}
+
+TEST(FilterPlan, PlannedSizeIsUsable) {
+  const auto set = testutil::random_set(100, 10, 11);
+  const auto trace = traffic::generate_random_printable_trace(1 << 16, 12);
+  const FilterPlan plan = plan_filters(set, profile_traffic(trace));
+  SpatchConfig cfg;
+  cfg.filters.f3_bits_log2 = plan.f3_bits_log2;
+  const SpatchMatcher m(set, cfg);
+  testutil::expect_matches_naive(m, set, trace);
+}
+
+TEST(FilterPlan, RandomTrafficHasLowerHitRateThanHttp) {
+  // The paper's observation: realistic traffic hits the filters far more
+  // than uniform random bytes (clustered 2-byte windows vs uniform).
+  pattern::RulesetConfig rcfg;
+  rcfg.count = 1000;
+  rcfg.seed = 13;
+  const auto set = pattern::generate_ruleset(rcfg);
+  const auto http = traffic::generate_http_trace(traffic::iscx_day2_config(1 << 18, 14));
+  const auto rand = traffic::generate_random_trace(1 << 18, 15);
+  const FilterPlan http_plan = plan_filters(set, profile_traffic(http));
+  const FilterPlan rand_plan = plan_filters(set, profile_traffic(rand));
+  EXPECT_GT(http_plan.f1_hit_rate + http_plan.f2_hit_rate,
+            rand_plan.f1_hit_rate + rand_plan.f2_hit_rate);
+}
+
+}  // namespace
+}  // namespace vpm::core

@@ -1,0 +1,260 @@
+// Property-based sweeps (parameterized gtest): configuration-invariance and
+// content-class robustness for the filtering engines.
+//
+// The properties:
+//   P1  match results are invariant under chunk size, ISA, F3 size, and
+//       verification-table geometry;
+//   P2  every engine is exact on adversarial byte-content classes;
+//   P3  injected pattern copies are always found (completeness lower bound);
+//   P4  filter-only candidate counts are ISA-invariant.
+#include <gtest/gtest.h>
+
+#include "core/matcher_factory.hpp"
+#include "core/spatch.hpp"
+#include "core/vpatch.hpp"
+#include "helpers.hpp"
+#include "pattern/ruleset_gen.hpp"
+#include "pattern/serialize.hpp"
+#include "simd/cpu_features.hpp"
+#include "traffic/match_injector.hpp"
+#include "traffic/random_trace.hpp"
+
+namespace vpm::core {
+namespace {
+
+// ---- P1: configuration invariance ------------------------------------------
+
+struct ConfigCase {
+  std::size_t chunk_size;
+  unsigned f3_bits;
+  unsigned bucket_bits;
+};
+
+class ConfigInvariance : public ::testing::TestWithParam<ConfigCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigInvariance,
+    ::testing::Values(ConfigCase{64, 12, 8}, ConfigCase{64, 16, 15},
+                      ConfigCase{1024, 10, 12}, ConfigCase{4096, 16, 15},
+                      ConfigCase{32768, 18, 16}, ConfigCase{1 << 20, 20, 18},
+                      ConfigCase{333, 13, 11}, ConfigCase{65536, 16, 15}),
+    [](const auto& info) {
+      return "chunk" + std::to_string(info.param.chunk_size) + "_f3" +
+             std::to_string(info.param.f3_bits) + "_b" +
+             std::to_string(info.param.bucket_bits);
+    });
+
+TEST_P(ConfigInvariance, SpatchMatchesOracle) {
+  const ConfigCase& cc = GetParam();
+  const auto set = testutil::random_set(70, 9, 111);
+  const auto text = testutil::random_text(20000, 112);
+  SpatchConfig cfg;
+  cfg.chunk_size = cc.chunk_size;
+  cfg.filters.f3_bits_log2 = cc.f3_bits;
+  cfg.long_bucket_bits = cc.bucket_bits;
+  const SpatchMatcher m(set, cfg);
+  testutil::expect_matches_naive(m, set, text);
+}
+
+TEST_P(ConfigInvariance, VpatchMatchesOracle) {
+  const ConfigCase& cc = GetParam();
+  const auto set = testutil::random_set(70, 9, 113);
+  const auto text = testutil::random_text(20000, 114);
+  VpatchConfig cfg;
+  cfg.chunk_size = cc.chunk_size;
+  cfg.filters.f3_bits_log2 = cc.f3_bits;
+  cfg.long_bucket_bits = cc.bucket_bits;
+  const VpatchMatcher m(set, cfg);
+  testutil::expect_matches_naive(m, set, text);
+}
+
+// ---- P2: content classes -------------------------------------------------------
+
+struct ContentCase {
+  const char* name;
+  util::Bytes (*make)(std::size_t);
+};
+
+util::Bytes all_zero(std::size_t n) { return util::Bytes(n, 0x00); }
+util::Bytes all_ff(std::size_t n) { return util::Bytes(n, 0xFF); }
+util::Bytes alternating(std::size_t n) {
+  util::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = (i & 1) ? 0xAB : 0xCD;
+  return b;
+}
+util::Bytes ramp(std::size_t n) {
+  util::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>(i & 0xFF);
+  return b;
+}
+util::Bytes periodic7(std::size_t n) {
+  util::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::uint8_t>('a' + (i % 7));
+  return b;
+}
+
+class ContentClasses
+    : public ::testing::TestWithParam<std::tuple<Algorithm, ContentCase>> {};
+
+std::vector<Algorithm> engines() {
+  std::vector<Algorithm> out;
+  for (Algorithm a : available_algorithms()) {
+    if (a != Algorithm::naive) out.push_back(a);
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, ContentClasses,
+    ::testing::Combine(::testing::ValuesIn(engines()),
+                       ::testing::Values(ContentCase{"zeros", all_zero},
+                                         ContentCase{"ff", all_ff},
+                                         ContentCase{"alternating", alternating},
+                                         ContentCase{"ramp", ramp},
+                                         ContentCase{"periodic7", periodic7})),
+    [](const auto& info) {
+      std::string n = std::string(algorithm_name(std::get<0>(info.param))) + "_" +
+                      std::get<1>(info.param).name;
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST_P(ContentClasses, ExactOnAdversarialContent) {
+  const auto [algo, cc] = GetParam();
+  // Patterns that deliberately intersect the content classes.
+  pattern::PatternSet set;
+  set.add(util::Bytes{0x00, 0x00, 0x00});
+  set.add(util::Bytes{0xFF, 0xFF});
+  set.add(util::Bytes{0xAB, 0xCD, 0xAB});
+  set.add(util::Bytes{0xCD, 0xAB});
+  set.add("abcdefg");
+  set.add("aabbcc");
+  set.add(util::Bytes{0x01, 0x02, 0x03, 0x04, 0x05});
+  const auto text = cc.make(3000);
+  const MatcherPtr m = make_matcher(algo, set);
+  testutil::expect_matches_naive(*m, set, text, cc.name);
+}
+
+// ---- P3: completeness under injection ----------------------------------------
+
+class InjectionCompleteness : public ::testing::TestWithParam<Algorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, InjectionCompleteness, ::testing::ValuesIn(engines()),
+                         [](const auto& info) {
+                           std::string n{algorithm_name(info.param)};
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST_P(InjectionCompleteness, FindsAtLeastInjectedCopies) {
+  pattern::RulesetConfig rcfg;
+  rcfg.count = 150;
+  rcfg.seed = 120;
+  const auto set = pattern::generate_ruleset(rcfg);
+  auto trace = traffic::generate_random_trace(1 << 16, 121);
+  const auto report = traffic::inject_matches(trace, set, 0.05, 122);
+  ASSERT_GT(report.injected_copies, 0u);
+  const MatcherPtr m = make_matcher(GetParam(), set);
+  EXPECT_GE(m->count_matches(trace), report.injected_copies);
+}
+
+// ---- P4: ISA-invariant filter candidates ---------------------------------------
+
+TEST(FilterInvariance, CandidateCountsAcrossIsas) {
+  const auto set = testutil::random_set(150, 10, 130);
+  const auto text = testutil::random_text(60000, 131);
+  const SpatchMatcher scalar(set);
+  const auto ref = scalar.filter_only(text, true);
+  for (Isa isa : {Isa::avx2, Isa::avx512}) {
+    if (!isa_supported(isa)) continue;
+    VpatchConfig cfg;
+    cfg.isa = isa;
+    const VpatchMatcher vec(set, cfg);
+    const auto got = vec.filter_only(text, true);
+    EXPECT_EQ(got.short_candidates, ref.short_candidates) << isa_name(isa);
+    EXPECT_EQ(got.long_candidates, ref.long_candidates) << isa_name(isa);
+  }
+}
+
+// ---- many-seed randomized differential (cheap, wide) ----------------------------
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 20));
+
+TEST_P(SeedSweep, VpatchAlwaysMatchesOracle) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto set = testutil::random_set(30 + seed * 7 % 60, 2 + seed % 12, seed * 13 + 1);
+  const auto text = testutil::random_text(500 + seed * 217, seed * 31 + 2,
+                                          2 + static_cast<unsigned>(seed % 6));
+  const VpatchMatcher m(set);
+  testutil::expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
+}
+
+}  // namespace
+}  // namespace vpm::core
+
+// ---- pattern-db serialization ------------------------------------------------------
+
+namespace vpm::pattern {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  RulesetConfig cfg;
+  cfg.count = 400;
+  cfg.seed = 140;
+  const PatternSet original = generate_ruleset(cfg);
+  const PatternSet loaded = deserialize_patterns(serialize_patterns(original));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::uint32_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].bytes, original[i].bytes) << i;
+    EXPECT_EQ(loaded[i].nocase, original[i].nocase) << i;
+    EXPECT_EQ(loaded[i].group, original[i].group) << i;
+  }
+}
+
+TEST(Serialize, LoadedSetBehavesIdentically) {
+  RulesetConfig cfg;
+  cfg.count = 200;
+  cfg.seed = 141;
+  const PatternSet original = generate_ruleset(cfg);
+  const PatternSet loaded = deserialize_patterns(serialize_patterns(original));
+  const auto text = testutil::random_text(30000, 142, 26);
+  const auto a = core::make_matcher(core::Algorithm::vpatch, original)->find_matches(text);
+  const auto b = core::make_matcher(core::Algorithm::vpatch, loaded)->find_matches(text);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Serialize, EmptySetRoundTrips) {
+  const PatternSet loaded = deserialize_patterns(serialize_patterns(PatternSet{}));
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  util::Bytes junk(64, 0x55);
+  EXPECT_THROW(deserialize_patterns(junk), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  PatternSet set;
+  set.add("pattern-one");
+  set.add("pattern-two");
+  auto bytes = serialize_patterns(set);
+  for (std::size_t cut : {bytes.size() - 1, bytes.size() - 5, std::size_t{13}}) {
+    util::Bytes t(bytes.begin(), bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(deserialize_patterns(t), std::invalid_argument) << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, RejectsInvalidGroup) {
+  PatternSet set;
+  set.add("x");
+  auto bytes = serialize_patterns(set);
+  bytes[12 + 5] = 0xEE;  // group byte of the first entry
+  EXPECT_THROW(deserialize_patterns(bytes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vpm::pattern

@@ -1,0 +1,194 @@
+// Traffic substrate tests: generator determinism and the workload properties
+// the paper's experiments rely on (HTTP token density, printable skew,
+// injector exactness).
+#include <gtest/gtest.h>
+
+#include "pattern/ruleset_gen.hpp"
+#include "traffic/http_trace.hpp"
+#include "traffic/match_injector.hpp"
+#include "traffic/mixed_trace.hpp"
+#include "traffic/random_trace.hpp"
+#include "traffic/trace.hpp"
+#include "traffic/trace_stats.hpp"
+
+namespace vpm::traffic {
+namespace {
+
+TEST(RandomTrace, SizeAndDeterminism) {
+  const auto a = generate_random_trace(10000, 1);
+  const auto b = generate_random_trace(10000, 1);
+  const auto c = generate_random_trace(10000, 2);
+  EXPECT_EQ(a.size(), 10000u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RandomTrace, HighEntropy) {
+  const auto t = generate_random_trace(1 << 16, 3);
+  const TraceStats s = compute_trace_stats(t);
+  EXPECT_GT(s.shannon_entropy_bits, 7.9);
+  EXPECT_EQ(s.distinct_bytes, 256u);
+}
+
+TEST(RandomTrace, PrintableVariantIsPrintable) {
+  const auto t = generate_random_printable_trace(5000, 4);
+  const TraceStats s = compute_trace_stats(t);
+  EXPECT_DOUBLE_EQ(s.printable_fraction, 1.0);
+}
+
+TEST(HttpTrace, SizeAndDeterminism) {
+  const auto cfg = iscx_day2_config(1 << 16, 9);
+  const auto a = generate_http_trace(cfg);
+  const auto b = generate_http_trace(cfg);
+  EXPECT_EQ(a.size(), static_cast<std::size_t>(1 << 16));
+  EXPECT_EQ(a, b);
+}
+
+TEST(HttpTrace, ContainsFrequentHttpTokens) {
+  // The core premise of the paper's S-PATCH design: GET/HTTP-class tokens
+  // appear densely in realistic web traffic (tens of occurrences per MB).
+  const auto t = generate_http_trace(iscx_day2_config(1 << 20, 10));
+  EXPECT_GT(token_density_per_mb(t, util::as_view("GET ")), 50.0);
+  EXPECT_GT(token_density_per_mb(t, util::as_view("HTTP/1.1")), 100.0);
+  EXPECT_GT(token_density_per_mb(t, util::as_view("User-Agent")), 20.0);
+}
+
+TEST(HttpTrace, MostlyPrintableWithBinaryBodies) {
+  const auto t = generate_http_trace(iscx_day2_config(1 << 20, 11));
+  const TraceStats s = compute_trace_stats(t);
+  EXPECT_GT(s.printable_fraction, 0.60);
+  EXPECT_LT(s.printable_fraction, 0.999) << "binary bodies should be present";
+}
+
+TEST(HttpTrace, Day6ProfileHasMoreBinary) {
+  const auto d2 = generate_http_trace(iscx_day2_config(1 << 20, 12));
+  const auto d6 = generate_http_trace(iscx_day6_config(1 << 20, 12));
+  const double p2 = compute_trace_stats(d2).printable_fraction;
+  const double p6 = compute_trace_stats(d6).printable_fraction;
+  EXPECT_LT(p6, p2) << "day6 profile is response/binary-heavier";
+}
+
+TEST(MixedTrace, SizeAndDeterminism) {
+  MixedTraceConfig cfg;
+  cfg.target_bytes = 1 << 16;
+  cfg.seed = 13;
+  const auto a = generate_mixed_trace(cfg);
+  const auto b = generate_mixed_trace(cfg);
+  EXPECT_EQ(a.size(), static_cast<std::size_t>(1 << 16));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MixedTrace, ContainsMultiProtocolMarkers) {
+  MixedTraceConfig cfg;
+  cfg.target_bytes = 1 << 20;
+  cfg.seed = 14;
+  const auto t = generate_mixed_trace(cfg);
+  EXPECT_GT(token_density_per_mb(t, util::as_view("USER ")), 0.5);
+  EXPECT_GT(token_density_per_mb(t, util::as_view("EHLO ")), 0.5);
+  EXPECT_GT(token_density_per_mb(t, util::as_view("login: ")), 0.5);
+}
+
+TEST(TraceKinds, AllKindsGenerate) {
+  for (TraceKind k : {TraceKind::iscx_day2, TraceKind::iscx_day6, TraceKind::darpa2000,
+                      TraceKind::random}) {
+    const auto t = generate_trace(k, 4096, 1);
+    EXPECT_EQ(t.size(), 4096u) << trace_kind_name(k);
+  }
+}
+
+TEST(TraceKinds, KindsProduceDistinctStreams) {
+  const auto a = generate_trace(TraceKind::iscx_day2, 8192, 1);
+  const auto b = generate_trace(TraceKind::iscx_day6, 8192, 1);
+  const auto c = generate_trace(TraceKind::darpa2000, 8192, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+}
+
+// ---- match injector ---------------------------------------------------------
+
+pattern::PatternSet small_set() {
+  pattern::PatternSet set;
+  set.add("EVILPATTERN");
+  set.add("badstuff123");
+  set.add("xploit");
+  return set;
+}
+
+TEST(Injector, HitsRequestedFraction) {
+  auto trace = generate_random_trace(1 << 18, 21);
+  const auto report = inject_matches(trace, small_set(), 0.10, 99);
+  EXPECT_NEAR(report.achieved_fraction, 0.10, 0.01);
+  EXPECT_GT(report.injected_copies, 0u);
+}
+
+TEST(Injector, InjectedBytesConsistent) {
+  auto trace = generate_random_trace(1 << 16, 22);
+  const auto report = inject_matches(trace, small_set(), 0.05, 100);
+  EXPECT_EQ(report.injected_bytes,
+            static_cast<std::size_t>(report.achieved_fraction * trace.size() + 0.5));
+}
+
+TEST(Injector, CopiesAreFindable) {
+  auto trace = generate_random_printable_trace(1 << 16, 23);
+  const pattern::PatternSet set = small_set();
+  const auto report = inject_matches(trace, set, 0.02, 101);
+  // Count literal occurrences of all patterns; must be >= injected copies
+  // (injection sites never overlap, so every copy survives).
+  std::size_t found = 0;
+  for (const pattern::Pattern& p : set) {
+    found += static_cast<std::size_t>(
+        token_density_per_mb(trace, p.bytes) * (static_cast<double>(trace.size()) / (1 << 20)) + 0.5);
+  }
+  EXPECT_GE(found, report.injected_copies);
+}
+
+TEST(Injector, ZeroFractionInjectsNothing) {
+  auto trace = generate_random_trace(4096, 24);
+  const auto before = trace;
+  const auto report = inject_matches(trace, small_set(), 0.0, 102);
+  EXPECT_EQ(report.injected_copies, 0u);
+  EXPECT_EQ(trace, before);
+}
+
+TEST(Injector, DeterministicForSeed) {
+  auto t1 = generate_random_trace(1 << 16, 25);
+  auto t2 = t1;
+  inject_matches(t1, small_set(), 0.05, 7);
+  inject_matches(t2, small_set(), 0.05, 7);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(Injector, EmptyInputsAreSafe) {
+  util::Bytes empty;
+  const auto report = inject_matches(empty, small_set(), 0.5, 1);
+  EXPECT_EQ(report.injected_copies, 0u);
+  pattern::PatternSet none;
+  auto trace = generate_random_trace(1024, 1);
+  EXPECT_EQ(inject_matches(trace, none, 0.5, 1).injected_copies, 0u);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats s = compute_trace_stats({});
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.shannon_entropy_bits, 0.0);
+}
+
+TEST(TraceStats, UniformSingleByte) {
+  const util::Bytes t(1000, 'A');
+  const TraceStats s = compute_trace_stats(t);
+  EXPECT_EQ(s.distinct_bytes, 1u);
+  EXPECT_DOUBLE_EQ(s.shannon_entropy_bits, 0.0);
+  EXPECT_DOUBLE_EQ(s.printable_fraction, 1.0);
+}
+
+TEST(TraceStats, TokenDensityCountsOverlaps) {
+  const auto t = util::to_bytes("aaaa");
+  // "aa" occurs at positions 0,1,2 in 4 bytes.
+  const double per_mb = token_density_per_mb(t, util::as_view("aa"));
+  EXPECT_NEAR(per_mb, 3.0 / (4.0 / (1 << 20)), 1.0);
+}
+
+}  // namespace
+}  // namespace vpm::traffic

@@ -1,0 +1,321 @@
+// Unit tests for the foundation utilities.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "util/arena.hpp"
+#include "util/bitarray.hpp"
+#include "util/byte_io.hpp"
+#include "util/bytes.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::util {
+namespace {
+
+// ---- BitArray ------------------------------------------------------------
+
+TEST(BitArray, StartsAllClear) {
+  BitArray bits(1024);
+  for (std::size_t i = 0; i < 1024; ++i) EXPECT_FALSE(bits.test(i)) << i;
+  EXPECT_EQ(bits.popcount(), 0u);
+}
+
+TEST(BitArray, SetTestClear) {
+  BitArray bits(256);
+  bits.set(0);
+  bits.set(7);
+  bits.set(8);
+  bits.set(255);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(7));
+  EXPECT_TRUE(bits.test(8));
+  EXPECT_TRUE(bits.test(255));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(254));
+  bits.clear(7);
+  EXPECT_FALSE(bits.test(7));
+  EXPECT_TRUE(bits.test(8));
+}
+
+TEST(BitArray, SetIsIdempotent) {
+  BitArray bits(64);
+  bits.set(33);
+  bits.set(33);
+  EXPECT_EQ(bits.popcount(), 1u);
+}
+
+TEST(BitArray, PopcountAndOccupancy) {
+  BitArray bits(1000);
+  for (std::size_t i = 0; i < 1000; i += 10) bits.set(i);
+  EXPECT_EQ(bits.popcount(), 100u);
+  EXPECT_NEAR(bits.occupancy(), 0.1, 1e-12);
+}
+
+TEST(BitArray, ResetClearsEverything) {
+  BitArray bits(512);
+  for (std::size_t i = 0; i < 512; i += 3) bits.set(i);
+  bits.reset();
+  EXPECT_EQ(bits.popcount(), 0u);
+}
+
+TEST(BitArray, GatherSlackIsAllocatedAndZero) {
+  BitArray bits(16);  // 2 data bytes + slack
+  EXPECT_EQ(bits.byte_size(), 2u);
+  // A 4-byte read at the last data byte must stay in bounds (this is what
+  // the dword gathers in the kernels rely on).
+  const std::uint8_t* p = bits.data();
+  std::uint32_t word = 0;
+  std::memcpy(&word, p + 1, 4);
+  EXPECT_EQ(word & 0xFFFFFF00u, 0u);
+}
+
+TEST(BitArray, EmptyArray) {
+  BitArray bits;
+  EXPECT_EQ(bits.bit_size(), 0u);
+  EXPECT_EQ(bits.occupancy(), 0.0);
+}
+
+TEST(BitArray, BitAndByteIndexConsistency) {
+  BitArray bits(1 << 16);
+  const std::size_t idx = 0xABCD;
+  bits.set(idx);
+  // The filter kernels read byte idx>>3 and test bit idx&7.
+  EXPECT_TRUE((bits.data()[idx >> 3] >> (idx & 7)) & 1);
+}
+
+// ---- hashing ---------------------------------------------------------------
+
+TEST(Hash, MultiplicativeHashInRange) {
+  for (unsigned bits = 8; bits <= 20; bits += 4) {
+    const std::uint32_t bound = 1u << bits;
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(multiplicative_hash(static_cast<std::uint32_t>(rng()), bits), bound);
+    }
+  }
+}
+
+TEST(Hash, MultiplicativeHashSpreadsPrefixes) {
+  // Keys sharing a 2-byte prefix must not collapse into a few buckets.
+  std::set<std::uint32_t> buckets;
+  for (std::uint32_t suffix = 0; suffix < 1000; ++suffix) {
+    buckets.insert(multiplicative_hash(0x4747u | (suffix << 16), 16));
+  }
+  EXPECT_GT(buckets.size(), 900u);
+}
+
+TEST(Hash, LoadLeAssemblesLittleEndian) {
+  const std::uint8_t bytes[] = {0x01, 0x02, 0x03, 0x04};
+  EXPECT_EQ(load_le(bytes, 1), 0x01u);
+  EXPECT_EQ(load_u16(bytes), 0x0201u);
+  EXPECT_EQ(load_le(bytes, 3), 0x030201u);
+  EXPECT_EQ(load_u32(bytes), 0x04030201u);
+}
+
+TEST(Hash, Fnv1aDistinguishesPermutations) {
+  const std::uint8_t a[] = {'a', 'b', 'c'};
+  const std::uint8_t b[] = {'c', 'b', 'a'};
+  EXPECT_NE(fnv1a(a, 3), fnv1a(b, 3));
+}
+
+TEST(Hash, Mix64AvalanchesSingleBit) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total += std::popcount(mix64(123456789) ^ mix64(123456789ull ^ (1ull << bit)));
+  }
+  EXPECT_GT(total / 64, 20);
+  EXPECT_LT(total / 64, 44);
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, PrintableStaysPrintable) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const char c = rng.printable();
+    EXPECT_GE(c, 0x20);
+    EXPECT_LT(c, 0x7F);
+  }
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(Stats, RunningMeanAndStddev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, EmptyStats) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, BatchHelpersMatchRunning) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(mean_of(xs), s.mean());
+  EXPECT_DOUBLE_EQ(stddev_of(xs), s.stddev());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50), 25.0);
+}
+
+TEST(Stats, PercentileOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(percentile_of({}, 50), 0.0);
+}
+
+// ---- bytes / case folding ---------------------------------------------------
+
+TEST(Bytes, AsciiFolding) {
+  EXPECT_EQ(ascii_lower('A'), 'a');
+  EXPECT_EQ(ascii_lower('Z'), 'z');
+  EXPECT_EQ(ascii_lower('a'), 'a');
+  EXPECT_EQ(ascii_lower('0'), '0');
+  EXPECT_EQ(ascii_lower(0xC4), 0xC4);  // no locale folding of high bytes
+  EXPECT_EQ(ascii_upper('a'), 'A');
+  EXPECT_TRUE(ascii_ieq('G', 'g'));
+  EXPECT_FALSE(ascii_ieq('G', 'h'));
+}
+
+TEST(Bytes, BytesEqualModes) {
+  const auto a = to_bytes("GeT");
+  const auto b = to_bytes("gEt");
+  EXPECT_TRUE(bytes_equal(a.data(), b.data(), 3, true));
+  EXPECT_FALSE(bytes_equal(a.data(), b.data(), 3, false));
+}
+
+TEST(Bytes, RoundTripStringConversion) {
+  const std::string s = "hello\x01world";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EscapeBytesRendersNonPrintable) {
+  const auto b = to_bytes(std::string("A\x00Z", 3));
+  EXPECT_EQ(escape_bytes(b), "A\\x00Z");
+}
+
+// ---- arena ------------------------------------------------------------------
+
+TEST(Arena, OffsetsAreStableAcrossGrowth) {
+  ByteArena arena;
+  const auto off1 = arena.add(to_bytes("hello"));
+  std::vector<std::uint32_t> offsets;
+  for (int i = 0; i < 1000; ++i) offsets.push_back(arena.add(to_bytes("xyz")));
+  EXPECT_EQ(to_string(arena.view(off1, 5)), "hello");
+  EXPECT_EQ(to_string(arena.view(offsets[500], 3)), "xyz");
+}
+
+TEST(Arena, EmptySpanYieldsValidOffset) {
+  ByteArena arena;
+  const auto off = arena.add({});
+  EXPECT_EQ(off, 0u);
+  EXPECT_TRUE(arena.empty());
+}
+
+// ---- timer / throughput ------------------------------------------------------
+
+TEST(Timer, ReportsForwardProgress) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(Timer, GbpsArithmetic) {
+  EXPECT_DOUBLE_EQ(gbps(1'000'000'000 / 8, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gbps(0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(gbps(100, 0.0), 0.0);  // guard against div-by-zero
+}
+
+// ---- byte_io -----------------------------------------------------------------
+
+TEST(ByteIo, RoundTripFile) {
+  const std::string path = testing::TempDir() + "/vpm_io_test.bin";
+  Bytes data(1000);
+  Rng rng(9);
+  for (auto& b : data) b = rng.byte();
+  write_file(path, data);
+  EXPECT_EQ(read_file(path), data);
+  std::remove(path.c_str());
+}
+
+TEST(ByteIo, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/vpm/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vpm::util

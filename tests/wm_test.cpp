@@ -1,0 +1,101 @@
+// Wu-Manber baseline tests.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "wm/wu_manber.hpp"
+
+namespace vpm::wm {
+namespace {
+
+using testutil::expect_matches_naive;
+
+TEST(WuManber, ClassicExample) {
+  const auto set = testutil::classic_set();
+  const WuManberMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("ushers"));
+}
+
+TEST(WuManber, BoundarySet) {
+  const auto set = testutil::boundary_set();
+  const WuManberMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("a ab abc abcd abcde GET http/1.1"));
+}
+
+TEST(WuManber, SingleBytePatternsHandledByDirectPass) {
+  pattern::PatternSet set;
+  set.add("q");
+  set.add("Z", true);
+  const WuManberMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("qzZQz q"));
+}
+
+TEST(WuManber, MinLengthTwoEnablesBlockSearch) {
+  pattern::PatternSet set;
+  set.add("ab");
+  set.add("abcdefgh");
+  const WuManberMatcher m(set);
+  EXPECT_EQ(m.min_block_pattern_length(), 2u);
+  expect_matches_naive(m, set, util::as_view("abcdefgh ab xabx"));
+}
+
+TEST(WuManber, LongMinLengthAllowsBigShifts) {
+  pattern::PatternSet set;
+  set.add("abcdefghij");
+  set.add("klmnopqrst");
+  const WuManberMatcher m(set);
+  EXPECT_EQ(m.min_block_pattern_length(), 10u);
+  const auto text = testutil::random_text(10000, 3, 26);
+  expect_matches_naive(m, set, text);
+}
+
+TEST(WuManber, NocaseSemantics) {
+  pattern::PatternSet set;
+  set.add("Select", true);
+  set.add("UNION", false);
+  const WuManberMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("select SELECT union UNION Select"));
+}
+
+TEST(WuManber, OverlappingMatches) {
+  pattern::PatternSet set;
+  set.add("aa");
+  set.add("aaa");
+  const WuManberMatcher m(set);
+  expect_matches_naive(m, set, util::as_view("aaaaa"));
+}
+
+TEST(WuManber, EmptyAndTinyInputs) {
+  const auto set = testutil::classic_set();
+  const WuManberMatcher m(set);
+  EXPECT_EQ(m.count_matches({}), 0u);
+  EXPECT_EQ(m.count_matches(util::as_view("h")), 0u);
+  EXPECT_EQ(m.count_matches(util::as_view("he")), 1u);
+}
+
+TEST(WuManber, RandomizedDifferential) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto set = testutil::random_set(50, 8, seed + 20);
+    const WuManberMatcher m(set);
+    const auto text = testutil::random_text(3000, seed + 60);
+    expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(WuManber, OnlyShortPatterns) {
+  pattern::PatternSet set;
+  set.add("x");
+  set.add("y");
+  const WuManberMatcher m(set);
+  EXPECT_EQ(m.count_matches(util::as_view("xyzzy")), 3u);
+}
+
+TEST(WuManber, BinaryPatterns) {
+  pattern::PatternSet set;
+  set.add(util::Bytes{0x90, 0x90, 0x90, 0xC3});
+  const WuManberMatcher m(set);
+  const util::Bytes data{0x90, 0x90, 0x90, 0x90, 0xC3, 0x00};
+  expect_matches_naive(m, set, data);
+}
+
+}  // namespace
+}  // namespace vpm::wm
