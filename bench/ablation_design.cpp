@@ -48,7 +48,7 @@ int main_impl(int argc, char** argv) {
       util::Timer timer;
       const auto res = m.filter_only(trace, true);
       stats.add(util::gbps(trace.size(), timer.seconds()));
-      guard += res.short_candidates + res.long_candidates;
+      guard = guard + res.short_candidates + res.long_candidates;
     }
     if (base == 0.0) base = stats.mean();
     print_row({label, fmt(stats.mean()), fmt(stats.mean() / base)}, widths);

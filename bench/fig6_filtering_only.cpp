@@ -55,18 +55,18 @@ void run_set(const char* label, const pattern::PatternSet& set,
     volatile std::uint64_t guard = 0;  // keep the no-store variant honest
     const double scalar = measure_gbps(w.trace.size(), opt.runs, [&] {
       const auto r = spatch.filter_only(w.trace, true);
-      guard += r.short_candidates + r.long_candidates;
+      guard = guard + r.short_candidates + r.long_candidates;
     });
     print_row({w.name, "S-PATCH-filtering", fmt(scalar), "1.00"}, widths);
     for (const auto& vpatch : vectors) {
       const std::string tag(vpatch->name());
       const double vec_stores = measure_gbps(w.trace.size(), opt.runs, [&] {
         const auto r = vpatch->filter_only(w.trace, true);
-        guard += r.short_candidates + r.long_candidates;
+        guard = guard + r.short_candidates + r.long_candidates;
       });
       const double vec_nostores = measure_gbps(w.trace.size(), opt.runs, [&] {
         const auto r = vpatch->filter_only(w.trace, false);
-        guard += r.short_candidates + r.long_candidates;
+        guard = guard + r.short_candidates + r.long_candidates;
       });
       print_row({w.name, tag + "-filtering+stores", fmt(vec_stores), fmt(vec_stores / scalar)},
                 widths);

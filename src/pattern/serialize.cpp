@@ -22,7 +22,9 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 util::Bytes serialize_patterns(const PatternSet& set) {
   util::Bytes out;
-  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  // Byte-wise append: the iterator-range insert of a char[] into the empty
+  // vector trips GCC 12's -Wstringop-overflow false positive.
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
   put_u32(out, static_cast<std::uint32_t>(set.size()));
   for (const Pattern& p : set) {
     put_u32(out, static_cast<std::uint32_t>(p.size()));

@@ -1,8 +1,35 @@
 #include "simd/cpu_features.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 namespace vpm::simd {
 
 namespace {
+
+// VPM_FORCE_ISA caps the features dispatch may use, so the vector fallback
+// paths are testable on wide hosts:
+//   scalar — no vector kernels at all
+//   avx2   — mask AVX-512, keep AVX2
+//   avx512 / best / unset — no cap
+void apply_force_isa(CpuFeatures& f) {
+  const char* force = std::getenv("VPM_FORCE_ISA");
+  if (force == nullptr || *force == '\0') return;
+  if (std::strcmp(force, "scalar") == 0) {
+    f = CpuFeatures{};
+  } else if (std::strcmp(force, "avx2") == 0) {
+    f.avx512f = f.avx512bw = f.avx512vl = f.avx512dq = false;
+  } else if (std::strcmp(force, "avx512") != 0 && std::strcmp(force, "best") != 0) {
+    // A typo must not silently yield full vector dispatch: anyone setting
+    // this variable believes a cap is active (the scalar-forced CI run
+    // would otherwise pass vacuously).
+    std::fprintf(stderr,
+                 "vpm: ignoring unrecognized VPM_FORCE_ISA=\"%s\" "
+                 "(expected scalar, avx2, avx512, or best)\n",
+                 force);
+  }
+}
 
 CpuFeatures detect() {
   CpuFeatures f;
@@ -21,6 +48,7 @@ CpuFeatures detect() {
 #if !defined(VPM_HAVE_AVX512_BUILD)
   f.avx512f = f.avx512bw = f.avx512vl = f.avx512dq = false;
 #endif
+  apply_force_isa(f);
   return f;
 }
 

@@ -166,35 +166,35 @@ TYPED_TEST(AcVariants, LongPattern) {
 
 TYPED_TEST(AcVariants, RandomizedDifferentialSmall) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    const auto set = testutil::random_set(40, 6, seed);
+    const auto set = testutil::random_set(40, 6, testutil::case_seed(seed));
     const TypeParam m(set);
-    const auto text = testutil::random_text(2000, seed + 100);
+    const auto text = testutil::random_text(2000, testutil::case_seed(seed + 100));
     expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
   }
 }
 
 TEST(AcFull, MemoryGrowsWithPatternCount) {
-  const auto small = testutil::random_set(50, 12, 1, 26);
-  const auto large = testutil::random_set(500, 12, 2, 26);
+  const auto small = testutil::random_set(50, 12, testutil::case_seed(1), 26);
+  const auto large = testutil::random_set(500, 12, testutil::case_seed(2), 26);
   const AcFullMatcher a(small);
   const AcFullMatcher b(large);
-  EXPECT_GT(b.memory_bytes(), a.memory_bytes());
-  EXPECT_GT(b.state_count(), a.state_count());
+  EXPECT_GT(b.memory_bytes(), a.memory_bytes()) << testutil::seed_note();
+  EXPECT_GT(b.state_count(), a.state_count()) << testutil::seed_note();
 }
 
 TEST(AcFull, SparseUsesLessMemoryThanFull) {
-  const auto set = testutil::random_set(500, 16, 3, 26);
+  const auto set = testutil::random_set(500, 16, testutil::case_seed(3), 26);
   const AcFullMatcher full(set);
   const AcSparseMatcher sparse(set);
-  EXPECT_LT(sparse.memory_bytes(), full.memory_bytes());
+  EXPECT_LT(sparse.memory_bytes(), full.memory_bytes()) << testutil::seed_note();
 }
 
 TEST(AcFull, FullAndSparseAgreeOnRealisticSet) {
-  const auto set = testutil::random_set(200, 10, 4);
+  const auto set = testutil::random_set(200, 10, testutil::case_seed(4));
   const AcFullMatcher full(set);
   const AcSparseMatcher sparse(set);
-  const auto text = testutil::random_text(20000, 5);
-  EXPECT_EQ(full.find_matches(text), sparse.find_matches(text));
+  const auto text = testutil::random_text(20000, testutil::case_seed(5));
+  EXPECT_EQ(full.find_matches(text), sparse.find_matches(text)) << testutil::seed_note();
 }
 
 }  // namespace

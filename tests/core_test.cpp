@@ -325,6 +325,46 @@ TEST(Vpatch, BestIsaResolvesToWidestAvailable) {
   }
 }
 
+// available_algorithms() is the factory's advertised contract: every entry
+// must construct and scan without throwing on the current feature set.  This
+// suite is also re-run with VPM_FORCE_ISA=scalar (see tests/CMakeLists.txt),
+// which exercises the same assertion with the vector engines masked out.
+TEST(MatcherFactory, AvailableAlgorithmsAllConstructAndScan) {
+  const auto set = testutil::boundary_set();
+  const auto algos = available_algorithms();
+  ASSERT_FALSE(algos.empty());
+  for (const Algorithm a : algos) {
+    EXPECT_TRUE(algorithm_available(a)) << algorithm_name(a);
+    MatcherPtr m;
+    ASSERT_NO_THROW(m = make_matcher(a, set)) << algorithm_name(a);
+    testutil::expect_matches_naive(*m, set, util::as_view("xyzabcdexyz GET abc"),
+                                   std::string(algorithm_name(a)));
+  }
+}
+
+TEST(MatcherFactory, UnavailableAlgorithmsThrowInsteadOfMisbehaving) {
+  const auto set = testutil::boundary_set();
+  for (const Algorithm a :
+       {Algorithm::vector_dfc, Algorithm::vpatch_avx2, Algorithm::vpatch_avx512}) {
+    if (algorithm_available(a)) continue;
+    EXPECT_THROW((void)make_matcher(a, set), std::runtime_error) << algorithm_name(a);
+  }
+}
+
+TEST(MatcherFactory, VpatchConstructsOnScalarAndBestIsa) {
+  // Isa::scalar must work everywhere; Isa::best must resolve to something
+  // constructible whatever the CPU (or VPM_FORCE_ISA) says.
+  const auto set = testutil::boundary_set();
+  for (const Isa isa : {Isa::scalar, Isa::best}) {
+    VpatchConfig cfg;
+    cfg.isa = isa;
+    ASSERT_NO_THROW((VpatchMatcher{set, cfg})) << isa_name(isa);
+    VpatchMatcher m(set, cfg);
+    testutil::expect_matches_naive(m, set, util::as_view("she sells abcde shells"),
+                                   std::string(isa_name(isa)));
+  }
+}
+
 TEST(Vpatch, NameReflectsIsa) {
   const auto set = testutil::boundary_set();
   if (simd::cpu().has_avx2_kernel()) {

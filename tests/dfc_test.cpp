@@ -87,14 +87,14 @@ TEST(HashedFilter4B, MostForeignPrefixesRejected) {
 
 TEST(HashedFilter4B, SmallerFilterHasMoreCollisions) {
   HashedFilter4B big(16), small(8);
-  const auto set = testutil::random_set(300, 12, 9, 26);
+  const auto set = testutil::random_set(300, 12, testutil::case_seed(9), 26);
   for (const auto& p : set) {
     if (p.size() >= 4) {
       big.add_pattern_prefix(p);
       small.add_pattern_prefix(p);
     }
   }
-  EXPECT_GT(small.occupancy(), big.occupancy());
+  EXPECT_GT(small.occupancy(), big.occupancy()) << testutil::seed_note();
 }
 
 // ---- compact tables ---------------------------------------------------------
@@ -200,9 +200,9 @@ TEST(LongTable, DuplicatePrefixesShareBucket) {
 }
 
 TEST(LongTable, MeanBucketOccupancyReasonable) {
-  const auto set = testutil::random_set(2000, 16, 10, 26);
+  const auto set = testutil::random_set(2000, 16, testutil::case_seed(10), 26);
   const LongTable table(set, 15);
-  EXPECT_LT(table.mean_bucket_entries(), 4.0);
+  EXPECT_LT(table.mean_bucket_entries(), 4.0) << testutil::seed_note();
 }
 
 // ---- DFC end-to-end -----------------------------------------------------------
@@ -211,14 +211,14 @@ TEST(Dfc, BoundarySetAgainstOracle) {
   const auto set = testutil::boundary_set();
   const DfcMatcher m(set);
   expect_matches_naive(m, set, util::as_view("xabcdex GET http/1.1"));
-  expect_matches_naive(m, set, testutil::random_text(4000, 77));
+  expect_matches_naive(m, set, testutil::random_text(4000, testutil::case_seed(77)));
 }
 
 TEST(Dfc, RandomizedDifferential) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    const auto set = testutil::random_set(60, 8, seed);
+    const auto set = testutil::random_set(60, 8, testutil::case_seed(seed));
     const DfcMatcher m(set);
-    const auto text = testutil::random_text(3000, seed + 50);
+    const auto text = testutil::random_text(3000, testutil::case_seed(seed + 50));
     expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
   }
 }
@@ -246,7 +246,7 @@ TEST(Dfc, MatchAtLastPosition) {
 }
 
 TEST(Dfc, FilterMemoryIsCacheSized) {
-  const auto set = testutil::random_set(1000, 12, 11, 26);
+  const auto set = testutil::random_set(1000, 12, testutil::case_seed(11), 26);
   const DfcMatcher m(set);
   // Three 8 KB direct filters + tables; the filters alone must stay tiny.
   EXPECT_EQ(3 * DirectFilter2B::kBits / 8, 3u * 8192u);
@@ -264,11 +264,12 @@ class VectorDfc : public ::testing::Test {
 
 TEST_F(VectorDfc, AgreesWithScalarDfcOnRandomText) {
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
-    const auto set = testutil::random_set(60, 8, seed);
+    const auto set = testutil::random_set(60, 8, testutil::case_seed(seed));
     const DfcMatcher scalar(set);
     const VectorDfcMatcher vec(set);
-    const auto text = testutil::random_text(5000, seed + 10);
-    EXPECT_EQ(vec.find_matches(text), scalar.find_matches(text)) << "seed " << seed;
+    const auto text = testutil::random_text(5000, testutil::case_seed(seed + 10));
+    EXPECT_EQ(vec.find_matches(text), scalar.find_matches(text))
+        << "seed " << seed << " (" << testutil::seed_note() << ")";
   }
 }
 
@@ -286,7 +287,7 @@ TEST_F(VectorDfc, AllInputLengthsNearVectorBoundary) {
   set.add("bcde");
   const VectorDfcMatcher m(set);
   for (std::size_t len = 0; len <= 48; ++len) {
-    const auto text = testutil::random_text(len, len * 31 + 7, 5);
+    const auto text = testutil::random_text(len, testutil::case_seed(len * 31 + 7), 5);
     expect_matches_naive(m, set, text, "len=" + std::to_string(len));
   }
 }

@@ -46,9 +46,9 @@ const std::vector<DiffCase>& diff_cases() {
 
 TEST_P(EngineEquivalence, MatchesOracle) {
   const auto [algo, dc] = GetParam();
-  const auto set = testutil::random_set(dc.pattern_count, dc.max_pattern_len, dc.seed,
-                                        dc.alphabet);
-  const auto text = testutil::random_text(dc.text_len, dc.seed + 1000, dc.alphabet);
+  const auto set = testutil::random_set(dc.pattern_count, dc.max_pattern_len,
+                                        testutil::case_seed(dc.seed), dc.alphabet);
+  const auto text = testutil::random_text(dc.text_len, testutil::case_seed(dc.seed + 1000), dc.alphabet);
   const MatcherPtr m = core::make_matcher(algo, set);
   testutil::expect_matches_naive(*m, set, text, dc.name);
 }
@@ -84,39 +84,42 @@ INSTANTIATE_TEST_SUITE_P(Engines, RealisticEquivalence,
 TEST_P(RealisticEquivalence, GeneratedRulesetOnHttpTrace) {
   pattern::RulesetConfig cfg;
   cfg.count = 300;
-  cfg.seed = 77;
+  cfg.seed = testutil::case_seed(77);
   const auto set = pattern::generate_ruleset(cfg);
-  auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 16, 7);
-  traffic::inject_matches(trace, set, 0.01, 8);
+  auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 16, testutil::case_seed(7));
+  traffic::inject_matches(trace, set, 0.01, testutil::case_seed(8));
 
   const MatcherPtr engine = core::make_matcher(GetParam(), set);
   const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
-  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace))
+      << testutil::seed_note();
 }
 
 TEST_P(RealisticEquivalence, GeneratedRulesetOnMixedTrace) {
   pattern::RulesetConfig cfg;
   cfg.count = 300;
-  cfg.seed = 78;
+  cfg.seed = testutil::case_seed(78);
   const auto set = pattern::generate_ruleset(cfg);
-  const auto trace = traffic::generate_trace(traffic::TraceKind::darpa2000, 1 << 16, 9);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::darpa2000, 1 << 16, testutil::case_seed(9));
 
   const MatcherPtr engine = core::make_matcher(GetParam(), set);
   const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
-  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace))
+      << testutil::seed_note();
 }
 
 TEST_P(RealisticEquivalence, RandomBinaryTrace) {
   pattern::RulesetConfig cfg;
   cfg.count = 200;
-  cfg.seed = 79;
+  cfg.seed = testutil::case_seed(79);
   cfg.binary_fraction = 0.5;
   const auto set = pattern::generate_ruleset(cfg);
-  const auto trace = traffic::generate_trace(traffic::TraceKind::random, 1 << 16, 10);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::random, 1 << 16, testutil::case_seed(10));
 
   const MatcherPtr engine = core::make_matcher(GetParam(), set);
   const MatcherPtr reference = core::make_matcher(core::Algorithm::aho_corasick, set);
-  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace));
+  EXPECT_EQ(engine->find_matches(trace), reference->find_matches(trace))
+      << testutil::seed_note();
 }
 
 // ---- adversarial micro-cases ---------------------------------------------------

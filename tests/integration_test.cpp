@@ -22,11 +22,11 @@ TEST(Integration, AllEnginesAgreeOnFullPipeline) {
   // attacks — every engine must produce the identical alert multiset.
   pattern::RulesetConfig cfg;
   cfg.count = 600;
-  cfg.seed = 101;
+  cfg.seed = testutil::case_seed(101);
   const auto ruleset = pattern::generate_ruleset(cfg);
   const auto web = ruleset.web_patterns();
-  auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 18, 55);
-  traffic::inject_matches(trace, web, 0.005, 56);
+  auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 18, testutil::case_seed(55));
+  traffic::inject_matches(trace, web, 0.005, testutil::case_seed(56));
 
   std::vector<Match> reference;
   for (core::Algorithm algo : core::available_algorithms()) {
@@ -37,7 +37,7 @@ TEST(Integration, AllEnginesAgreeOnFullPipeline) {
       reference = got;
       EXPECT_GT(reference.size(), 0u) << "injection should guarantee matches";
     } else {
-      EXPECT_EQ(got, reference) << m->name();
+      EXPECT_EQ(got, reference) << m->name() << " (" << testutil::seed_note() << ")";
     }
   }
 }
@@ -47,16 +47,16 @@ TEST(Integration, RulesFileToEngineRoundTrip) {
   // must behave identically to the original.
   pattern::RulesetConfig cfg;
   cfg.count = 150;
-  cfg.seed = 103;
+  cfg.seed = testutil::case_seed(103);
   const auto original = pattern::generate_ruleset(cfg);
   const std::string rules_text = pattern::render_rules(original);
   const auto parsed = pattern::patterns_from_rules(rules_text, pattern::ContentSelection::kAll);
   ASSERT_EQ(parsed.size(), original.size());
 
-  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day6, 1 << 16, 57);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day6, 1 << 16, testutil::case_seed(57));
   const auto a = core::make_matcher(core::Algorithm::vpatch, original)->count_matches(trace);
   const auto b = core::make_matcher(core::Algorithm::vpatch, parsed)->count_matches(trace);
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, b) << testutil::seed_note();
 }
 
 TEST(Integration, IdsEngineMatchesWholeStreamScan) {
@@ -64,14 +64,14 @@ TEST(Integration, IdsEngineMatchesWholeStreamScan) {
   // whole stream with the same group's matcher.
   pattern::RulesetConfig cfg;
   cfg.count = 200;
-  cfg.seed = 104;
+  cfg.seed = testutil::case_seed(104);
   const auto ruleset = pattern::generate_ruleset(cfg);
-  auto stream = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 16, 58);
-  traffic::inject_matches(stream, ruleset.web_patterns(), 0.01, 59);
+  auto stream = traffic::generate_trace(traffic::TraceKind::iscx_day2, 1 << 16, testutil::case_seed(58));
+  traffic::inject_matches(stream, ruleset.web_patterns(), 0.01, testutil::case_seed(59));
 
   ids::IdsEngine engine(ruleset, {core::Algorithm::vpatch});
   std::vector<ids::Alert> alerts;
-  util::Rng rng(60);
+  util::Rng rng(testutil::case_seed(60));
   std::size_t off = 0;
   while (off < stream.size()) {
     const std::size_t len =
@@ -96,7 +96,7 @@ TEST(Integration, IdsEngineMatchesWholeStreamScan) {
   }
   std::sort(from_alerts.begin(), from_alerts.end());
   std::sort(expected.begin(), expected.end());
-  EXPECT_EQ(from_alerts, expected);
+  EXPECT_EQ(from_alerts, expected) << testutil::seed_note();
 }
 
 TEST(Integration, InjectionFractionDrivesMatchCount) {
@@ -107,8 +107,8 @@ TEST(Integration, InjectionFractionDrivesMatchCount) {
   const MatcherPtr m = core::make_matcher(core::Algorithm::vpatch, set);
   std::uint64_t prev = 0;
   for (double frac : {0.0, 0.05, 0.2, 0.5}) {
-    auto trace = traffic::generate_trace(traffic::TraceKind::random, 1 << 17, 61);
-    traffic::inject_matches(trace, set, frac, 62);
+    auto trace = traffic::generate_trace(traffic::TraceKind::random, 1 << 17, testutil::case_seed(61));
+    traffic::inject_matches(trace, set, frac, testutil::case_seed(62));
     const auto count = m->count_matches(trace);
     EXPECT_GE(count, prev) << "fraction " << frac;
     prev = count;
@@ -121,7 +121,7 @@ TEST(Integration, MemoryFootprintOrdering) {
   // dwarfs the filter-based engines' cache-resident structures.
   pattern::RulesetConfig cfg;
   cfg.count = 2000;
-  cfg.seed = 105;
+  cfg.seed = testutil::case_seed(105);
   const auto set = pattern::generate_ruleset(cfg);
   const auto ac = core::make_matcher(core::Algorithm::aho_corasick, set);
   const auto dfc = core::make_matcher(core::Algorithm::dfc, set);
@@ -132,10 +132,10 @@ TEST(Integration, MemoryFootprintOrdering) {
 
 TEST(Integration, ScanIsReentrantAndStateless) {
   // Two scans of different buffers with the same matcher must not interfere.
-  const auto set = testutil::random_set(100, 8, 30);
+  const auto set = testutil::random_set(100, 8, testutil::case_seed(30));
   const MatcherPtr m = core::make_matcher(core::Algorithm::vpatch, set);
-  const auto text1 = testutil::random_text(10000, 31);
-  const auto text2 = testutil::random_text(10000, 32);
+  const auto text1 = testutil::random_text(10000, testutil::case_seed(31));
+  const auto text2 = testutil::random_text(10000, testutil::case_seed(32));
   const auto first = m->find_matches(text1);
   (void)m->find_matches(text2);
   EXPECT_EQ(m->find_matches(text1), first);
@@ -145,9 +145,9 @@ TEST(Integration, LargeScaleSmoke) {
   // 4 MB trace, 5K patterns, every non-naive engine agrees on match count.
   pattern::RulesetConfig cfg;
   cfg.count = 5000;
-  cfg.seed = 106;
+  cfg.seed = testutil::case_seed(106);
   const auto set = pattern::generate_ruleset(cfg).web_patterns();
-  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 4 << 20, 63);
+  const auto trace = traffic::generate_trace(traffic::TraceKind::iscx_day2, 4 << 20, testutil::case_seed(63));
 
   const auto reference =
       core::make_matcher(core::Algorithm::aho_corasick, set)->count_matches(trace);

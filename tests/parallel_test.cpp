@@ -10,15 +10,16 @@ namespace vpm::core {
 namespace {
 
 TEST(ParallelScan, MatchesSingleThreadResult) {
-  const auto set = testutil::random_set(80, 10, 1);
+  const auto set = testutil::random_set(80, 10, testutil::case_seed(1));
   const auto m = make_matcher(Algorithm::vpatch, set);
-  const auto text = testutil::random_text(300000, 2);
+  const auto text = testutil::random_text(300000, testutil::case_seed(2));
   const auto expected = m->find_matches(text);
   for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
     ParallelScanConfig cfg;
     cfg.threads = threads;
     cfg.max_pattern_len = set.max_pattern_length();
-    EXPECT_EQ(parallel_find_matches(*m, text, cfg), expected) << threads << " threads";
+    EXPECT_EQ(parallel_find_matches(*m, text, cfg), expected)
+        << threads << " threads (" << testutil::seed_note() << ")";
     EXPECT_EQ(parallel_count_matches(*m, text, cfg), expected.size()) << threads;
   }
 }
@@ -43,8 +44,8 @@ TEST(ParallelScan, BoundaryStraddlingMatchAttributedOnce) {
 }
 
 TEST(ParallelScan, EveryEngineAgrees) {
-  const auto set = testutil::random_set(50, 8, 3);
-  const auto text = testutil::random_text(200000, 4);
+  const auto set = testutil::random_set(50, 8, testutil::case_seed(3));
+  const auto text = testutil::random_text(200000, testutil::case_seed(4));
   ParallelScanConfig cfg;
   cfg.threads = 3;
   cfg.max_pattern_len = set.max_pattern_length();
@@ -52,14 +53,15 @@ TEST(ParallelScan, EveryEngineAgrees) {
   for (Algorithm a : available_algorithms()) {
     if (a == Algorithm::naive) continue;
     const auto m = make_matcher(a, set);
-    EXPECT_EQ(parallel_find_matches(*m, text, cfg), reference) << m->name();
+    EXPECT_EQ(parallel_find_matches(*m, text, cfg), reference)
+        << m->name() << " (" << testutil::seed_note() << ")";
   }
 }
 
 TEST(ParallelScan, SmallInputFallsBackToSingleThread) {
   const auto set = testutil::boundary_set();
   const auto m = make_matcher(Algorithm::spatch, set);
-  const auto text = testutil::random_text(100, 5);
+  const auto text = testutil::random_text(100, testutil::case_seed(5));
   ParallelScanConfig cfg;
   cfg.threads = 8;
   cfg.max_pattern_len = set.max_pattern_length();
@@ -76,9 +78,9 @@ TEST(ParallelScan, EmptyInput) {
 }
 
 TEST(ParallelScan, OverestimatedMaxLenIsSafe) {
-  const auto set = testutil::random_set(40, 6, 6);
+  const auto set = testutil::random_set(40, 6, testutil::case_seed(6));
   const auto m = make_matcher(Algorithm::vpatch, set);
-  const auto text = testutil::random_text(200000, 7);
+  const auto text = testutil::random_text(200000, testutil::case_seed(7));
   ParallelScanConfig exact;
   exact.threads = 2;
   exact.max_pattern_len = set.max_pattern_length();

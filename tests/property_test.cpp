@@ -46,8 +46,8 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(ConfigInvariance, SpatchMatchesOracle) {
   const ConfigCase& cc = GetParam();
-  const auto set = testutil::random_set(70, 9, 111);
-  const auto text = testutil::random_text(20000, 112);
+  const auto set = testutil::random_set(70, 9, testutil::case_seed(111));
+  const auto text = testutil::random_text(20000, testutil::case_seed(112));
   SpatchConfig cfg;
   cfg.chunk_size = cc.chunk_size;
   cfg.filters.f3_bits_log2 = cc.f3_bits;
@@ -58,8 +58,8 @@ TEST_P(ConfigInvariance, SpatchMatchesOracle) {
 
 TEST_P(ConfigInvariance, VpatchMatchesOracle) {
   const ConfigCase& cc = GetParam();
-  const auto set = testutil::random_set(70, 9, 113);
-  const auto text = testutil::random_text(20000, 114);
+  const auto set = testutil::random_set(70, 9, testutil::case_seed(113));
+  const auto text = testutil::random_text(20000, testutil::case_seed(114));
   VpatchConfig cfg;
   cfg.chunk_size = cc.chunk_size;
   cfg.filters.f3_bits_log2 = cc.f3_bits;
@@ -151,20 +151,20 @@ INSTANTIATE_TEST_SUITE_P(Engines, InjectionCompleteness, ::testing::ValuesIn(eng
 TEST_P(InjectionCompleteness, FindsAtLeastInjectedCopies) {
   pattern::RulesetConfig rcfg;
   rcfg.count = 150;
-  rcfg.seed = 120;
+  rcfg.seed = testutil::case_seed(120);
   const auto set = pattern::generate_ruleset(rcfg);
-  auto trace = traffic::generate_random_trace(1 << 16, 121);
-  const auto report = traffic::inject_matches(trace, set, 0.05, 122);
+  auto trace = traffic::generate_random_trace(1 << 16, testutil::case_seed(121));
+  const auto report = traffic::inject_matches(trace, set, 0.05, testutil::case_seed(122));
   ASSERT_GT(report.injected_copies, 0u);
   const MatcherPtr m = make_matcher(GetParam(), set);
-  EXPECT_GE(m->count_matches(trace), report.injected_copies);
+  EXPECT_GE(m->count_matches(trace), report.injected_copies) << testutil::seed_note();
 }
 
 // ---- P4: ISA-invariant filter candidates ---------------------------------------
 
 TEST(FilterInvariance, CandidateCountsAcrossIsas) {
-  const auto set = testutil::random_set(150, 10, 130);
-  const auto text = testutil::random_text(60000, 131);
+  const auto set = testutil::random_set(150, 10, testutil::case_seed(130));
+  const auto text = testutil::random_text(60000, testutil::case_seed(131));
   const SpatchMatcher scalar(set);
   const auto ref = scalar.filter_only(text, true);
   for (Isa isa : {Isa::avx2, Isa::avx512}) {
@@ -173,8 +173,10 @@ TEST(FilterInvariance, CandidateCountsAcrossIsas) {
     cfg.isa = isa;
     const VpatchMatcher vec(set, cfg);
     const auto got = vec.filter_only(text, true);
-    EXPECT_EQ(got.short_candidates, ref.short_candidates) << isa_name(isa);
-    EXPECT_EQ(got.long_candidates, ref.long_candidates) << isa_name(isa);
+    EXPECT_EQ(got.short_candidates, ref.short_candidates)
+        << isa_name(isa) << " (" << testutil::seed_note() << ")";
+    EXPECT_EQ(got.long_candidates, ref.long_candidates)
+        << isa_name(isa) << " (" << testutil::seed_note() << ")";
   }
 }
 
@@ -186,8 +188,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(0, 20));
 
 TEST_P(SeedSweep, VpatchAlwaysMatchesOracle) {
   const auto seed = static_cast<std::uint64_t>(GetParam());
-  const auto set = testutil::random_set(30 + seed * 7 % 60, 2 + seed % 12, seed * 13 + 1);
-  const auto text = testutil::random_text(500 + seed * 217, seed * 31 + 2,
+  const auto set = testutil::random_set(30 + seed * 7 % 60, 2 + seed % 12,
+                                        testutil::case_seed(seed * 13 + 1));
+  const auto text = testutil::random_text(500 + seed * 217, testutil::case_seed(seed * 31 + 2),
                                           2 + static_cast<unsigned>(seed % 6));
   const VpatchMatcher m(set);
   testutil::expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
@@ -204,7 +207,7 @@ namespace {
 TEST(Serialize, RoundTripPreservesEverything) {
   RulesetConfig cfg;
   cfg.count = 400;
-  cfg.seed = 140;
+  cfg.seed = testutil::case_seed(140);
   const PatternSet original = generate_ruleset(cfg);
   const PatternSet loaded = deserialize_patterns(serialize_patterns(original));
   ASSERT_EQ(loaded.size(), original.size());
@@ -218,13 +221,13 @@ TEST(Serialize, RoundTripPreservesEverything) {
 TEST(Serialize, LoadedSetBehavesIdentically) {
   RulesetConfig cfg;
   cfg.count = 200;
-  cfg.seed = 141;
+  cfg.seed = testutil::case_seed(141);
   const PatternSet original = generate_ruleset(cfg);
   const PatternSet loaded = deserialize_patterns(serialize_patterns(original));
-  const auto text = testutil::random_text(30000, 142, 26);
+  const auto text = testutil::random_text(30000, testutil::case_seed(142), 26);
   const auto a = core::make_matcher(core::Algorithm::vpatch, original)->find_matches(text);
   const auto b = core::make_matcher(core::Algorithm::vpatch, loaded)->find_matches(text);
-  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, b) << testutil::seed_note();
 }
 
 TEST(Serialize, EmptySetRoundTrips) {

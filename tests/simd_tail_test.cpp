@@ -1,0 +1,151 @@
+// Tail/boundary read-contract regression tests for the simd window
+// primitives (and the engines' end-of-buffer handling built on them).
+//
+// ops.hpp documents deliberate over-reads:
+//   windows2_scalar reads p[0..w]      (w+1 bytes)
+//   windows4_scalar reads p[0..w+2]    (w+3 bytes)
+//   AVX2 wrappers   read 16 bytes at p (W=8)
+//   AVX-512 wrappers read 32 bytes at p (W=16)
+// Every case below hands the kernel a heap buffer of *exactly* the
+// documented extent, so AddressSanitizer (the Debug+ASan CI job) flags any
+// read past the contract, and value checks pin the window semantics at the
+// same time.  If a kernel change widens its loads, these tests fail before
+// the over-read ships.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/matcher_factory.hpp"
+#include "helpers.hpp"
+#include "simd/cpu_features.hpp"
+#include "simd/ops.hpp"
+
+namespace vpm {
+namespace {
+
+// Exactly `n` addressable bytes on the heap with a deterministic fill;
+// byte i is distinct from byte i+1 so window mistakes change values.
+std::vector<std::uint8_t> exact_buffer(std::size_t n) {
+  std::vector<std::uint8_t> buf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<std::uint8_t>(0x11 * (i + 1) ^ (i >> 3));
+  }
+  return buf;
+}
+
+TEST(SimdTail, Windows2ScalarReadsExactlyWPlus1Bytes) {
+  for (unsigned w = 1; w <= 32; ++w) {
+    const auto buf = exact_buffer(w + 1);  // contract: reads p[0..w]
+    std::vector<std::uint32_t> out(w, 0xdeadbeef);
+    simd::windows2_scalar(buf.data(), out.data(), w);
+    for (unsigned j = 0; j < w; ++j) {
+      const std::uint32_t expect =
+          static_cast<std::uint32_t>(buf[j]) | static_cast<std::uint32_t>(buf[j + 1]) << 8;
+      EXPECT_EQ(out[j], expect) << "w=" << w << " lane " << j;
+    }
+  }
+}
+
+TEST(SimdTail, Windows4ScalarReadsExactlyWPlus3Bytes) {
+  for (unsigned w = 1; w <= 32; ++w) {
+    const auto buf = exact_buffer(w + 3);  // contract: reads p[0..w+2]
+    std::vector<std::uint32_t> out(w, 0xdeadbeef);
+    simd::windows4_scalar(buf.data(), out.data(), w);
+    for (unsigned j = 0; j < w; ++j) {
+      const std::uint32_t expect = static_cast<std::uint32_t>(buf[j]) |
+                                   static_cast<std::uint32_t>(buf[j + 1]) << 8 |
+                                   static_cast<std::uint32_t>(buf[j + 2]) << 16 |
+                                   static_cast<std::uint32_t>(buf[j + 3]) << 24;
+      EXPECT_EQ(out[j], expect) << "w=" << w << " lane " << j;
+    }
+  }
+}
+
+TEST(SimdTail, GatherScalarReadsFourBytesPerIndex) {
+  // Highest byte offset is 12 -> base must stay addressable through byte 15.
+  const std::vector<std::uint32_t> idx = {0, 3, 7, 12, 1, 5, 9, 11};
+  const auto base = exact_buffer(12 + 4);
+  std::vector<std::uint32_t> out(idx.size(), 0);
+  simd::gather_u32_scalar(base.data(), idx.data(), out.data(),
+                          static_cast<unsigned>(idx.size()));
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    std::uint32_t expect = 0;
+    for (int b = 3; b >= 0; --b) expect = expect << 8 | base[idx[j] + b];
+    EXPECT_EQ(out[j], expect) << "lane " << j;
+  }
+}
+
+TEST(SimdTail, Avx2WindowsReadExactlySixteenBytes) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "AVX2 kernel not available";
+  const auto buf = exact_buffer(16);  // contract: one 16-byte load at p
+  std::uint32_t v2[8], v4[8], r2[8], r4[8];
+  simd::windows2_avx2(buf.data(), v2);
+  simd::windows4_avx2(buf.data(), v4);
+  simd::windows2_scalar(buf.data(), r2, 8);
+  simd::windows4_scalar(buf.data(), r4, 8);
+  for (unsigned j = 0; j < 8; ++j) {
+    EXPECT_EQ(v2[j], r2[j]) << "windows2 lane " << j;
+    EXPECT_EQ(v4[j], r4[j]) << "windows4 lane " << j;
+  }
+}
+
+TEST(SimdTail, Avx2GatherReadsFourBytesPerIndex) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "AVX2 kernel not available";
+  const std::uint32_t idx[8] = {4, 0, 9, 2, 12, 7, 1, 10};
+  const auto base = exact_buffer(12 + 4);
+  std::uint32_t out[8], ref[8];
+  simd::gather_u32_avx2(base.data(), idx, out);
+  simd::gather_u32_scalar(base.data(), idx, ref, 8);
+  for (unsigned j = 0; j < 8; ++j) EXPECT_EQ(out[j], ref[j]) << "lane " << j;
+}
+
+TEST(SimdTail, Avx512WindowsReadExactlyThirtyTwoBytes) {
+  if (!simd::avx512_available()) GTEST_SKIP() << "AVX-512 kernel not available";
+  const auto buf = exact_buffer(32);  // contract: one 32-byte load at p
+  std::uint32_t v2[16], v4[16], r2[16], r4[16];
+  simd::windows2_avx512(buf.data(), v2);
+  simd::windows4_avx512(buf.data(), v4);
+  simd::windows2_scalar(buf.data(), r2, 16);
+  simd::windows4_scalar(buf.data(), r4, 16);
+  for (unsigned j = 0; j < 16; ++j) {
+    EXPECT_EQ(v2[j], r2[j]) << "windows2 lane " << j;
+    EXPECT_EQ(v4[j], r4[j]) << "windows4 lane " << j;
+  }
+}
+
+TEST(SimdTail, Avx512GatherReadsFourBytesPerIndex) {
+  if (!simd::avx512_available()) GTEST_SKIP() << "AVX-512 kernel not available";
+  std::uint32_t idx[16];
+  for (unsigned j = 0; j < 16; ++j) idx[j] = (j * 7) % 13;
+  const auto base = exact_buffer(12 + 4);
+  std::uint32_t out[16], ref[16];
+  simd::gather_u32_avx512(base.data(), idx, out);
+  simd::gather_u32_scalar(base.data(), idx, ref, 16);
+  for (unsigned j = 0; j < 16; ++j) EXPECT_EQ(out[j], ref[j]) << "lane " << j;
+}
+
+// End-to-end tail handling: a pattern ending on the very last byte of an
+// exactly-sized heap buffer must be reported by every available engine, and
+// (under ASan) scanning must not read past the buffer.
+TEST(SimdTail, EveryEngineMatchesAtExactBufferEnd) {
+  const auto set = testutil::boundary_set();
+  for (const std::size_t n : std::vector<std::size_t>{5, 16, 17, 31, 32, 33, 64, 1000}) {
+    auto buf = exact_buffer(n);
+    // Terminate the buffer with "abcde" (or a prefix that fits).
+    const char* needle = "abcde";
+    const std::size_t k = std::min<std::size_t>(5, n);
+    std::copy(needle, needle + k, buf.end() - static_cast<std::ptrdiff_t>(k));
+    const util::ByteView view(buf.data(), buf.size());
+    for (const auto algo : core::available_algorithms()) {
+      const auto m = core::make_matcher(algo, set);
+      testutil::expect_matches_naive(*m, set, view,
+                                     "tail n=" + std::to_string(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpm

@@ -258,7 +258,9 @@ TEST(CpuFeatures, KernelImpliesBaseFeature) {
     EXPECT_TRUE(f.avx512bw);
     EXPECT_TRUE(f.avx512vl);
   }
-  if (f.has_avx2_kernel()) EXPECT_TRUE(f.avx2);
+  if (f.has_avx2_kernel()) {
+    EXPECT_TRUE(f.avx2);
+  }
 }
 
 TEST(CpuFeatures, WrapperAvailabilityMatchesCpu) {

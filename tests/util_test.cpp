@@ -291,7 +291,7 @@ TEST(Arena, EmptySpanYieldsValidOffset) {
 TEST(Timer, ReportsForwardProgress) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.seconds(), 0.0);
 }
 

@@ -44,7 +44,7 @@ TEST(WuManber, LongMinLengthAllowsBigShifts) {
   set.add("klmnopqrst");
   const WuManberMatcher m(set);
   EXPECT_EQ(m.min_block_pattern_length(), 10u);
-  const auto text = testutil::random_text(10000, 3, 26);
+  const auto text = testutil::random_text(10000, testutil::case_seed(3), 26);
   expect_matches_naive(m, set, text);
 }
 
@@ -74,9 +74,9 @@ TEST(WuManber, EmptyAndTinyInputs) {
 
 TEST(WuManber, RandomizedDifferential) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    const auto set = testutil::random_set(50, 8, seed + 20);
+    const auto set = testutil::random_set(50, 8, testutil::case_seed(seed + 20));
     const WuManberMatcher m(set);
-    const auto text = testutil::random_text(3000, seed + 60);
+    const auto text = testutil::random_text(3000, testutil::case_seed(seed + 60));
     expect_matches_naive(m, set, text, "seed=" + std::to_string(seed));
   }
 }
