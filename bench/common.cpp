@@ -19,6 +19,8 @@ Options parse_options(int argc, char** argv) {
       opt.runs = static_cast<unsigned>(std::strtoul(arg + 7, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       opt.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json_path = arg + 7;
     } else if (std::strcmp(arg, "--quick") == 0) {
       opt.quick = true;
     }
@@ -75,6 +77,94 @@ pattern::PatternSet s2_web_patterns(std::uint64_t seed) {
 
 pattern::PatternSet s2_full_patterns(std::uint64_t seed) {
   return pattern::generate_ruleset(pattern::s2_config(seed));
+}
+
+namespace {
+
+// Minimal JSON string escaping: quote, backslash, and control bytes.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string bench_name, const Options& opt)
+    : bench_(std::move(bench_name)), opt_(opt) {}
+
+void JsonReport::add(std::vector<std::pair<std::string, std::string>> dims,
+                     std::vector<std::pair<std::string, double>> metrics,
+                     std::vector<std::pair<std::string, std::uint64_t>> counts) {
+  std::string row = "{";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) row += ", ";
+    first = false;
+  };
+  for (const auto& [k, v] : dims) {
+    sep();
+    row += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+  }
+  for (const auto& [k, v] : metrics) {
+    sep();
+    row += "\"" + json_escape(k) + "\": " + json_number(v);
+  }
+  for (const auto& [k, v] : counts) {
+    sep();
+    row += "\"" + json_escape(k) + "\": " + std::to_string(v);
+  }
+  row += "}";
+  rows_.push_back(std::move(row));
+}
+
+bool JsonReport::write() const {
+  if (opt_.json_path.empty()) return true;
+  std::FILE* f = std::fopen(opt_.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", opt_.json_path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"options\": {\"trace_mb\": %zu, "
+               "\"runs\": %u, \"seed\": %llu, \"quick\": %s},\n  \"rows\": [\n",
+               json_escape(bench_).c_str(), opt_.trace_mb, opt_.runs,
+               static_cast<unsigned long long>(opt_.seed), opt_.quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", rows_[i].c_str(), i + 1 < rows_.size() ? "," : "");
+  }
+  const bool wrote = std::fprintf(f, "  ]\n}\n") > 0;
+  const bool ok = std::fclose(f) == 0 && wrote;
+  if (!ok) {
+    std::fprintf(stderr, "bench: failed writing %s\n", opt_.json_path.c_str());
+    return false;
+  }
+  std::printf("wrote JSON results to %s (%zu rows)\n", opt_.json_path.c_str(),
+              rows_.size());
+  return true;
 }
 
 void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/matcher_factory.hpp"
@@ -19,12 +20,37 @@ struct Options {
   std::size_t trace_mb = 16;  // bytes scanned per workload
   unsigned runs = 5;          // independent runs per cell (paper uses 10)
   std::uint64_t seed = 1;
-  bool quick = false;  // --quick: 4 MB traces, 2 runs (CI smoke)
+  bool quick = false;      // --quick: 4 MB traces, 2 runs (CI smoke)
+  std::string json_path;   // --json=FILE: machine-readable results
 };
 
-// Recognizes --mb=N --runs=N --seed=N --quick; ignores unknown flags so the
-// binaries can grow figure-specific options.
+// Recognizes --mb=N --runs=N --seed=N --quick --json=FILE; ignores unknown
+// flags so the binaries can grow figure-specific options.
 Options parse_options(int argc, char** argv);
+
+// Machine-readable result collection (the BENCH_*.json perf trajectory).
+// Every bench builds one of these alongside its printed table; rows carry
+// string dimensions (workload, algorithm, ...) plus numeric metrics, and
+// write() emits
+//   {"bench": ..., "options": {...}, "rows": [{...}, ...]}
+// Write is a no-op returning true when the user did not pass --json.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const Options& opt);
+
+  void add(std::vector<std::pair<std::string, std::string>> dims,
+           std::vector<std::pair<std::string, double>> metrics,
+           std::vector<std::pair<std::string, std::uint64_t>> counts = {});
+
+  // Writes to opt.json_path if set; returns false (after printing a
+  // diagnostic) on I/O failure so mains can propagate a nonzero exit.
+  bool write() const;
+
+ private:
+  std::string bench_;
+  Options opt_;
+  std::vector<std::string> rows_;  // pre-rendered JSON objects
+};
 
 struct Throughput {
   double mean_gbps = 0.0;

@@ -16,7 +16,8 @@ namespace vpm::bench {
 namespace {
 
 void run_set(const char* set_name, const pattern::PatternSet& set,
-             const std::vector<Workload>& workloads, const Options& opt) {
+             const std::vector<Workload>& workloads, const Options& opt,
+             JsonReport& report) {
   std::printf("\n=== Fig 4 (%s): %zu web patterns, %zu MB/trace, %u runs ===\n",
               set_name, set.size(), opt.trace_mb, opt.runs);
   const std::vector<int> widths{14, 22, 12, 12, 12, 12};
@@ -46,6 +47,10 @@ void run_set(const char* set_name, const pattern::PatternSet& set,
       print_row({w.name, std::string(matchers[i]->name()), fmt(t.mean_gbps),
                  fmt(t.stddev_gbps, 3), speedup, std::to_string(t.matches)},
                 widths);
+      report.add({{"set", set_name}, {"workload", w.name},
+                  {"algorithm", std::string(matchers[i]->name())}},
+                 {{"gbps_mean", t.mean_gbps}, {"gbps_stddev", t.stddev_gbps}},
+                 {{"matches", t.matches}});
     }
   }
 }
@@ -62,13 +67,14 @@ int main_impl(int argc, char** argv) {
   }
 
   const auto workloads = paper_workloads(opt);
+  JsonReport report("fig4_throughput", opt);
   if (std::strcmp(which, "s1") == 0 || std::strcmp(which, "both") == 0) {
-    run_set("S1 web, paper Fig4a", s1_web_patterns(opt.seed), workloads, opt);
+    run_set("S1 web, paper Fig4a", s1_web_patterns(opt.seed), workloads, opt, report);
   }
   if (std::strcmp(which, "s2") == 0 || std::strcmp(which, "both") == 0) {
-    run_set("S2 web, paper Fig4b", s2_web_patterns(opt.seed + 1), workloads, opt);
+    run_set("S2 web, paper Fig4b", s2_web_patterns(opt.seed + 1), workloads, opt, report);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

@@ -37,6 +37,7 @@ int main_impl(int argc, char** argv) {
   const std::vector<int> widths{10, 14, 14, 12, 12};
   print_row({"patterns", "S-PATCH-Gbps", "V-PATCH-Gbps", "speedup", "matches"}, widths);
 
+  JsonReport report("fig5a_pattern_sweep", opt);
   const std::size_t counts[] = {1000, 2500, 5000, 10000, 15000, 20000};
   for (std::size_t n : counts) {
     const auto subset = full.random_subset(n, opt.seed + n);
@@ -52,8 +53,11 @@ int main_impl(int argc, char** argv) {
                fmt(ts.mean_gbps > 0 ? tv.mean_gbps / ts.mean_gbps : 0.0),
                std::to_string(tv.matches)},
               widths);
+    report.add({},
+               {{"spatch_gbps", ts.mean_gbps}, {"vpatch_gbps", tv.mean_gbps}},
+               {{"patterns", subset.size()}, {"matches", tv.matches}});
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

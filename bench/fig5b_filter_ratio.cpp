@@ -25,6 +25,7 @@ int main_impl(int argc, char** argv) {
   const std::vector<int> widths{10, 16, 18, 14, 14};
   print_row({"patterns", "filter-time-%", "useful-lanes-%", "short-cand", "long-cand"}, widths);
 
+  JsonReport report("fig5b_filter_ratio", opt);
   const std::size_t counts[] = {1000, 2500, 5000, 10000, 15000, 20000};
   for (std::size_t n : counts) {
     const auto subset = full.random_subset(n, opt.seed + n);
@@ -39,8 +40,14 @@ int main_impl(int argc, char** argv) {
                std::to_string(stats.short_candidates / opt.runs),
                std::to_string(stats.long_candidates / opt.runs)},
               widths);
+    report.add({},
+               {{"filter_time_pct", stats.filter_time_fraction() * 100},
+                {"useful_lanes_pct", stats.f3_lane_utilization() * 100}},
+               {{"patterns", subset.size()},
+                {"short_candidates", stats.short_candidates / opt.runs},
+                {"long_candidates", stats.long_candidates / opt.runs}});
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

@@ -26,6 +26,7 @@ int main_impl(int argc, char** argv) {
   const std::vector<int> widths{12, 14, 14, 12, 14};
   print_row({"match-frac", "S-PATCH-Gbps", "V-PATCH-Gbps", "speedup", "matches"}, widths);
 
+  JsonReport json("fig5c_match_fraction", opt);
   for (double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
     auto trace = traffic::generate_random_printable_trace(opt.trace_mb << 20, opt.seed + 20);
     const auto report = traffic::inject_matches(trace, rules, frac, opt.seed + 21);
@@ -35,8 +36,13 @@ int main_impl(int argc, char** argv) {
                fmt(tv.mean_gbps), fmt(ts.mean_gbps > 0 ? tv.mean_gbps / ts.mean_gbps : 0.0),
                std::to_string(tv.matches)},
               widths);
+    json.add({},
+             {{"match_fraction", report.achieved_fraction},
+              {"spatch_gbps", ts.mean_gbps},
+              {"vpatch_gbps", tv.mean_gbps}},
+             {{"matches", tv.matches}});
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }
 
 }  // namespace

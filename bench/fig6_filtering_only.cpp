@@ -30,7 +30,8 @@ double measure_gbps(std::size_t bytes, unsigned runs, F&& body) {
 }
 
 void run_set(const char* label, const pattern::PatternSet& set,
-             const std::vector<Workload>& workloads, const Options& opt) {
+             const std::vector<Workload>& workloads, const Options& opt,
+             JsonReport& report) {
   std::printf("\n=== Fig 6 (%s): %zu patterns, filtering round only ===\n", label, set.size());
   const std::vector<int> widths{14, 26, 12, 12};
   print_row({"trace", "variant", "Gbps", "vs-scalar"}, widths);
@@ -58,6 +59,8 @@ void run_set(const char* label, const pattern::PatternSet& set,
       guard = guard + r.short_candidates + r.long_candidates;
     });
     print_row({w.name, "S-PATCH-filtering", fmt(scalar), "1.00"}, widths);
+    report.add({{"set", label}, {"workload", w.name}, {"variant", "S-PATCH-filtering"}},
+               {{"gbps", scalar}});
     for (const auto& vpatch : vectors) {
       const std::string tag(vpatch->name());
       const double vec_stores = measure_gbps(w.trace.size(), opt.runs, [&] {
@@ -72,6 +75,10 @@ void run_set(const char* label, const pattern::PatternSet& set,
                 widths);
       print_row({w.name, tag + "-filtering", fmt(vec_nostores), fmt(vec_nostores / scalar)},
                 widths);
+      report.add({{"set", label}, {"workload", w.name}, {"variant", tag + "-filtering+stores"}},
+                 {{"gbps", vec_stores}});
+      report.add({{"set", label}, {"workload", w.name}, {"variant", tag + "-filtering"}},
+                 {{"gbps", vec_nostores}});
     }
   }
 }
@@ -79,10 +86,11 @@ void run_set(const char* label, const pattern::PatternSet& set,
 int main_impl(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   const auto workloads = paper_workloads(opt);
-  run_set("a: S1 web 2K", s1_web_patterns(opt.seed), workloads, opt);
-  run_set("b: S2 web 9K", s2_web_patterns(opt.seed + 1), workloads, opt);
-  run_set("c: full 20K", s2_full_patterns(opt.seed + 1), workloads, opt);
-  return 0;
+  JsonReport report("fig6_filtering_only", opt);
+  run_set("a: S1 web 2K", s1_web_patterns(opt.seed), workloads, opt, report);
+  run_set("b: S2 web 9K", s2_web_patterns(opt.seed + 1), workloads, opt, report);
+  run_set("c: full 20K", s2_full_patterns(opt.seed + 1), workloads, opt, report);
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

@@ -15,7 +15,8 @@ namespace vpm::bench {
 namespace {
 
 void run_set(const char* set_name, const pattern::PatternSet& set,
-             const std::vector<Workload>& workloads, const Options& opt) {
+             const std::vector<Workload>& workloads, const Options& opt,
+             JsonReport& report) {
   std::printf("\n=== Fig 7 (%s): %zu web patterns, W=16 V-PATCH ===\n", set_name, set.size());
   const std::vector<int> widths{14, 22, 12, 12, 12, 12};
   print_row({"trace", "algorithm", "Gbps", "stddev", "vs-DFC", "matches"}, widths);
@@ -40,6 +41,10 @@ void run_set(const char* set_name, const pattern::PatternSet& set,
                  dfc_gbps > 0.0 ? fmt(t.mean_gbps / dfc_gbps) : std::string("-"),
                  std::to_string(t.matches)},
                 widths);
+      report.add({{"set", set_name}, {"workload", w.name},
+                  {"algorithm", std::string(matchers[i]->name())}},
+                 {{"gbps_mean", t.mean_gbps}, {"gbps_stddev", t.stddev_gbps}},
+                 {{"matches", t.matches}});
     }
   }
 }
@@ -56,13 +61,14 @@ int main_impl(int argc, char** argv) {
     if (std::strncmp(argv[i], "--set=", 6) == 0) which = argv[i] + 6;
   }
   const auto workloads = paper_workloads(opt);
+  JsonReport report("fig7_wide_vector", opt);
   if (std::strcmp(which, "s1") == 0 || std::strcmp(which, "both") == 0) {
-    run_set("a: S1 web", s1_web_patterns(opt.seed), workloads, opt);
+    run_set("a: S1 web", s1_web_patterns(opt.seed), workloads, opt, report);
   }
   if (std::strcmp(which, "s2") == 0 || std::strcmp(which, "both") == 0) {
-    run_set("b: S2 web", s2_web_patterns(opt.seed + 1), workloads, opt);
+    run_set("b: S2 web", s2_web_patterns(opt.seed + 1), workloads, opt, report);
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+// Throughput of the sharded multi-worker pipeline runtime: generated TCP
+// flows (with light reordering, so reassembly does real work) are packetized
+// once, then replayed through PipelineRuntime sweeping worker counts and
+// algorithms.  Reported Gbps is end-to-end — routing, ring transfer,
+// reassembly, and grouped inspection included — which is the number a
+// deployed sensor would see, unlike the matcher-only figure benches.
+//
+//   pipeline_throughput [--mb=N] [--runs=N] [--seed=N] [--quick] [--json=FILE]
+//                       [--flows=N] [--reorder=PCT]
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common.hpp"
+#include "net/flowgen.hpp"
+#include "pipeline/runtime.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace vpm::bench {
+namespace {
+
+int main_impl(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+  std::size_t flow_count = 32;
+  double reorder = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--flows=", 8) == 0) {
+      flow_count = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
+      reorder = std::strtod(argv[i] + 10, nullptr) / 100.0;
+    }
+  }
+  if (flow_count == 0) flow_count = 1;
+
+  const auto rules = s1_web_patterns(opt.seed);
+
+  net::FlowGenConfig fcfg;
+  fcfg.flow_count = flow_count;
+  fcfg.bytes_per_flow = std::max<std::size_t>((opt.trace_mb << 20) / flow_count, 1 << 16);
+  fcfg.reorder_fraction = reorder;
+  fcfg.seed = opt.seed + 40;
+  const auto flows = net::generate_flows(fcfg);
+  std::uint64_t payload_bytes = 0;
+  for (const auto& p : flows.packets) payload_bytes += p.payload.size();
+
+  std::printf("=== Pipeline throughput: %zu patterns, %zu flows x %zu KB, %zu packets "
+              "(%.0f%% reordered), %u hw threads ===\n",
+              rules.size(), flow_count, fcfg.bytes_per_flow >> 10, flows.packets.size(),
+              reorder * 100, std::thread::hardware_concurrency());
+  const std::vector<int> widths{22, 10, 12, 12, 12, 12};
+  print_row({"algorithm", "workers", "Gbps", "stddev", "scaling", "alerts"}, widths);
+
+  JsonReport report("pipeline_throughput", opt);
+  for (core::Algorithm algo :
+       {core::Algorithm::aho_corasick, core::Algorithm::dfc, core::Algorithm::vpatch}) {
+    if (!core::algorithm_available(algo)) continue;
+    double base = 0.0;
+    for (unsigned workers : {1u, 2u, 4u}) {
+      util::RunningStats stats;
+      std::uint64_t alerts = 0;
+      for (unsigned r = 0; r <= opt.runs; ++r) {  // run 0 is the warm-up
+        pipeline::PipelineConfig cfg;
+        cfg.algorithm = algo;
+        cfg.workers = workers;
+        pipeline::PipelineRuntime rt(rules, cfg);
+        rt.start();
+        util::Timer timer;
+        rt.submit(std::span<const net::Packet>(flows.packets));
+        rt.stop();
+        const double secs = timer.seconds();
+        if (r == 0) continue;
+        stats.add(util::gbps(payload_bytes, secs));
+        alerts = rt.stats().totals().alerts;
+      }
+      if (workers == 1) base = stats.mean();
+      print_row({std::string(core::algorithm_name(algo)), std::to_string(workers),
+                 fmt(stats.mean()), fmt(stats.stddev(), 3),
+                 fmt(base > 0 ? stats.mean() / base : 0.0), std::to_string(alerts)},
+                widths);
+      report.add({{"algorithm", std::string(core::algorithm_name(algo))}},
+                 {{"gbps_mean", stats.mean()}, {"gbps_stddev", stats.stddev()},
+                  {"scaling", base > 0 ? stats.mean() / base : 0.0}},
+                 {{"workers", workers}, {"alerts", alerts},
+                  {"packets", flows.packets.size()}});
+    }
+  }
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vpm::bench
+
+int main(int argc, char** argv) { return vpm::bench::main_impl(argc, argv); }

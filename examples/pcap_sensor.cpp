@@ -3,24 +3,67 @@
 //
 //   ./pcap_sensor <capture.pcap> [rules.rules]   inspect a real capture
 //   ./pcap_sensor --demo                         generate + inspect a capture
+//   ./pcap_sensor --workers=N ...                shard flows across N workers
 //
 // Demo mode synthesizes HTTP flows (with deliberately reordered segments and
 // planted attack payloads), writes a well-formed pcap to a temp file, then
 // runs the inspection pipeline on it — proving a pattern split across TCP
-// segments is still caught.
+// segments is still caught.  With --workers=N the capture is replayed
+// through the sharded pipeline runtime (one reassembler + engine per
+// worker), which reports the same alerts as the single-threaded path.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "ids/pcap_pipeline.hpp"
 #include "net/flowgen.hpp"
 #include "pattern/ruleset_gen.hpp"
 #include "pattern/snort_rules.hpp"
+#include "pipeline/runtime.hpp"
 #include "util/byte_io.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace vpm;
+
+int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
+                unsigned workers) {
+  auto parsed = net::read_pcap(pcap_bytes);
+
+  pipeline::PipelineConfig cfg;
+  cfg.algorithm = core::Algorithm::vpatch;
+  cfg.workers = workers;
+  pipeline::PipelineRuntime rt(rules, cfg);
+  rt.start();
+  util::Timer timer;
+  for (net::Packet& p : parsed.packets) rt.submit(std::move(p));
+  rt.stop();
+  const double secs = timer.seconds();
+
+  const auto stats = rt.stats();
+  const auto totals = stats.totals();
+  std::printf("pipeline: %u workers, %zu packets (skipped %zu), %llu flows, "
+              "reassembly drops: %llu\n",
+              rt.workers(), parsed.packets.size(), parsed.skipped_records,
+              static_cast<unsigned long long>(totals.flows_seen),
+              static_cast<unsigned long long>(totals.reassembly_drops));
+  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+    std::printf("  worker %zu: %llu pkts, %llu flows, %llu alerts\n", w,
+                static_cast<unsigned long long>(stats.workers[w].packets),
+                static_cast<unsigned long long>(stats.workers[w].flows_seen),
+                static_cast<unsigned long long>(stats.workers[w].alerts));
+  }
+  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps end-to-end)\n",
+              static_cast<unsigned long long>(totals.bytes_inspected), secs,
+              util::gbps(totals.bytes_inspected, secs));
+  std::printf("%zu alerts; first 10:\n", rt.alerts().size());
+  for (std::size_t i = 0; i < rt.alerts().size() && i < 10; ++i) {
+    std::printf("  %s\n", format_alert(rt.alerts()[i], rules).c_str());
+  }
+  return 0;
+}
 
 int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
   util::Timer timer;
@@ -43,7 +86,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
   return 0;
 }
 
-int run_demo() {
+int run_demo(unsigned workers) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -82,25 +125,38 @@ int run_demo() {
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers) : run(pcap, rules);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) return run_demo();
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <capture.pcap> [rules.rules]  |  %s --demo\n", argv[0],
-                 argv[0]);
+  unsigned workers = 0;  // 0 = single-threaded inspect_pcap path
+  bool demo = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (demo) return run_demo(workers);
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--workers=N] <capture.pcap> [rules.rules]  |  %s --demo\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  const auto pcap = util::read_file(argv[1]);
+  const auto pcap = util::read_file(positional[0]);
   pattern::PatternSet rules;
-  if (argc >= 3) {
-    rules = pattern::patterns_from_rules(util::to_string(util::read_file(argv[2])));
+  if (positional.size() >= 2) {
+    rules = pattern::patterns_from_rules(util::to_string(util::read_file(positional[1])));
   } else {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers) : run(pcap, rules);
 }

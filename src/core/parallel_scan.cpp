@@ -1,11 +1,26 @@
 #include "core/parallel_scan.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <thread>
 
 namespace vpm::core {
 
 namespace {
+
+// Resolves the overlap bound against the actual PatternSet: derive it when
+// unspecified, and reject (in debug builds) an explicit bound that is
+// shorter than the longest pattern — that would silently lose matches that
+// straddle a segment boundary.
+std::size_t set_aware_overlap(const ParallelScanConfig& cfg,
+                              const pattern::PatternSet& set) {
+  const std::size_t true_max = set.max_pattern_length();
+  if (cfg.max_pattern_len == 0) return true_max;
+  assert(cfg.max_pattern_len >= true_max &&
+         "ParallelScanConfig::max_pattern_len is shorter than the set's longest "
+         "pattern; boundary-straddling matches would be lost");
+  return cfg.max_pattern_len;
+}
 
 struct Segment {
   std::size_t begin = 0;      // first start-offset owned by this segment
@@ -53,14 +68,12 @@ class RangeSink final : public MatchSink {
   OnMatch on_match_;
 };
 
-}  // namespace
-
-std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView data,
-                                         const ParallelScanConfig& cfg) {
+std::vector<Match> find_matches_impl(const Matcher& matcher, util::ByteView data,
+                                     const ParallelScanConfig& cfg, std::size_t overlap) {
   const unsigned threads = effective_threads(cfg, data.size());
   if (threads <= 1 || data.empty()) return matcher.find_matches(data);
 
-  const auto segments = split(data.size(), threads, cfg.max_pattern_len);
+  const auto segments = split(data.size(), threads, overlap);
   std::vector<std::vector<Match>> per_thread(segments.size());
   {
     std::vector<std::jthread> pool;
@@ -84,12 +97,12 @@ std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView 
   return all;
 }
 
-std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data,
-                                     const ParallelScanConfig& cfg) {
+std::uint64_t count_matches_impl(const Matcher& matcher, util::ByteView data,
+                                 const ParallelScanConfig& cfg, std::size_t overlap) {
   const unsigned threads = effective_threads(cfg, data.size());
   if (threads <= 1 || data.empty()) return matcher.count_matches(data);
 
-  const auto segments = split(data.size(), threads, cfg.max_pattern_len);
+  const auto segments = split(data.size(), threads, overlap);
   std::vector<std::uint64_t> counts(segments.size(), 0);
   {
     std::vector<std::jthread> pool;
@@ -106,6 +119,36 @@ std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data
   std::uint64_t total = 0;
   for (std::uint64_t c : counts) total += c;
   return total;
+}
+
+}  // namespace
+
+std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView data,
+                                         const ParallelScanConfig& cfg) {
+  // Without a PatternSet an unspecified bound (0) cannot be derived, and a
+  // full-overlap split would burn every thread on a whole-buffer scan for no
+  // wall-clock gain — run single-threaded instead of spawning the pool.
+  if (cfg.max_pattern_len == 0) return matcher.find_matches(data);
+  return find_matches_impl(matcher, data, cfg, cfg.max_pattern_len);
+}
+
+std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data,
+                                     const ParallelScanConfig& cfg) {
+  if (cfg.max_pattern_len == 0) return matcher.count_matches(data);
+  return count_matches_impl(matcher, data, cfg, cfg.max_pattern_len);
+}
+
+std::vector<Match> parallel_find_matches(const Matcher& matcher,
+                                         const pattern::PatternSet& set,
+                                         util::ByteView data,
+                                         const ParallelScanConfig& cfg) {
+  return find_matches_impl(matcher, data, cfg, set_aware_overlap(cfg, set));
+}
+
+std::uint64_t parallel_count_matches(const Matcher& matcher,
+                                     const pattern::PatternSet& set, util::ByteView data,
+                                     const ParallelScanConfig& cfg) {
+  return count_matches_impl(matcher, data, cfg, set_aware_overlap(cfg, set));
 }
 
 }  // namespace vpm::core

@@ -13,14 +13,20 @@
 #include <vector>
 
 #include "match/matcher.hpp"
+#include "pattern/pattern_set.hpp"
 
 namespace vpm::core {
 
 struct ParallelScanConfig {
   unsigned threads = 0;  // 0 = std::thread::hardware_concurrency()
-  // Upper bound on pattern length; governs the segment overlap. Using the
-  // true max pattern length of the set is exact; larger values are safe.
-  std::size_t max_pattern_len = 256;
+  // Upper bound on pattern length; governs the segment overlap.  0 means
+  // "derive it": the PatternSet-aware overloads use the set's true max
+  // pattern length (exact); the set-less overloads cannot derive it and
+  // fall back to a plain single-threaded scan — pass the real bound there
+  // to parallelize.  A non-zero value shorter than the longest pattern
+  // would silently lose straddling matches, so the set-aware overloads
+  // assert against it in debug builds.
+  std::size_t max_pattern_len = 0;
 };
 
 // All matches, sorted canonically; equivalent to matcher.find_matches(data).
@@ -30,5 +36,16 @@ std::vector<Match> parallel_find_matches(const Matcher& matcher, util::ByteView 
 // Match count only (no per-match storage across threads beyond counters).
 std::uint64_t parallel_count_matches(const Matcher& matcher, util::ByteView data,
                                      const ParallelScanConfig& cfg);
+
+// Set-aware variants: `set` is the PatternSet `matcher` was built over.  The
+// segment overlap is derived from set.max_pattern_length() when
+// cfg.max_pattern_len is 0, and debug-asserted to be >= it otherwise.
+std::vector<Match> parallel_find_matches(const Matcher& matcher,
+                                         const pattern::PatternSet& set,
+                                         util::ByteView data,
+                                         const ParallelScanConfig& cfg = {});
+std::uint64_t parallel_count_matches(const Matcher& matcher,
+                                     const pattern::PatternSet& set, util::ByteView data,
+                                     const ParallelScanConfig& cfg = {});
 
 }  // namespace vpm::core

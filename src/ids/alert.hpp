@@ -16,6 +16,28 @@ struct Alert {
   pattern::Group group = pattern::Group::generic;
 
   friend bool operator==(const Alert&, const Alert&) = default;
+  friend auto operator<=>(const Alert&, const Alert&) = default;
+};
+
+// Receives alerts as the engine produces them.  Decouples alert delivery
+// from storage so embedders (the pipeline workers, log shippers) can route
+// alerts without an intermediate vector per inspect call.
+class AlertSink {
+ public:
+  virtual void on_alert(const Alert& alert) = 0;
+
+ protected:
+  ~AlertSink() = default;
+};
+
+// The trivial sink: append to a vector.
+class AlertBuffer final : public AlertSink {
+ public:
+  explicit AlertBuffer(std::vector<Alert>& out) : out_(&out) {}
+  void on_alert(const Alert& alert) override { out_->push_back(alert); }
+
+ private:
+  std::vector<Alert>* out_;
 };
 
 // Renders "flow=3 off=128 group=http pattern=17 'GET /'" style lines.

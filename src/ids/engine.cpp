@@ -6,7 +6,7 @@ IdsEngine::IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg)
     : rules_(rules, cfg.algorithm) {}
 
 void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
-                        std::vector<Alert>& out) {
+                        AlertSink& out) {
   auto it = flows_.find(flow_id);
   if (it == flows_.end()) {
     it = flows_
@@ -19,15 +19,15 @@ void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::By
   }
   FlowState& flow = it->second;
 
-  struct AlertSink final : MatchSink {
-    std::vector<Alert>* out = nullptr;
+  struct MatchToAlert final : MatchSink {
+    AlertSink* out = nullptr;
     const GroupedRules* rules = nullptr;
     std::uint64_t flow_id = 0;
     pattern::Group protocol{};
     std::uint64_t emitted = 0;
     void on_match(const Match& m) override {
-      out->push_back(Alert{flow_id, rules->master_id(protocol, m.pattern_id), m.pos,
-                           protocol});
+      out->on_alert(Alert{flow_id, rules->master_id(protocol, m.pattern_id), m.pos,
+                          protocol});
       ++emitted;
     }
   } sink;

@@ -21,7 +21,7 @@ struct EngineCounters {
   std::uint64_t bytes_inspected = 0;
   std::uint64_t chunks = 0;
   std::uint64_t alerts = 0;
-  std::uint64_t flows = 0;
+  std::uint64_t flows = 0;  // distinct flows ever seen (not currently active)
 };
 
 class IdsEngine {
@@ -29,12 +29,22 @@ class IdsEngine {
   IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg = {});
 
   // Inspects the next payload chunk of `flow_id` (protocol fixed per flow at
-  // first sight); appends alerts to `out`.
+  // first sight); delivers alerts to `sink` as they are found.
   void inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
-               std::vector<Alert>& out);
+               AlertSink& sink);
 
-  // Forgets a flow's stream state (connection close).
+  // Convenience overload: appends alerts to `out`.
+  void inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+               std::vector<Alert>& out) {
+    AlertBuffer buffer(out);
+    inspect(flow_id, protocol, chunk, buffer);
+  }
+
+  // Forgets a flow's stream state (connection close / idle eviction).
   void close_flow(std::uint64_t flow_id);
+
+  // Flows currently holding stream-scanner state (carry buffers).
+  std::size_t active_flows() const { return flows_.size(); }
 
   const EngineCounters& counters() const { return counters_; }
   const GroupedRules& rules() const { return rules_; }

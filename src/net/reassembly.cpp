@@ -1,5 +1,7 @@
 #include "net/reassembly.hpp"
 
+#include <algorithm>
+
 namespace vpm::net {
 
 void TcpReassembler::ingest(const Packet& packet) {
@@ -9,6 +11,7 @@ void TcpReassembler::ingest(const Packet& packet) {
     flow.initial_seq = packet.tcp_seq;
     flow.pinned = true;
   }
+  flow.last_activity_us = std::max(flow.last_activity_us, packet.timestamp_us);
   // 32-bit sequence arithmetic relative to the initial seq; streams here are
   // bounded well below 4 GiB so a single unwrapped delta suffices.
   const std::uint64_t offset =
@@ -75,5 +78,21 @@ void TcpReassembler::drain(const FiveTuple& tuple, FlowState& flow) {
 }
 
 void TcpReassembler::close_flow(const FiveTuple& tuple) { flows_.erase(tuple); }
+
+std::vector<FiveTuple> TcpReassembler::evict_idle(std::uint64_t now_us,
+                                                  std::uint64_t idle_us) {
+  std::vector<FiveTuple> evicted;
+  if (idle_us == 0) return evicted;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_activity_us + idle_us <= now_us) {
+      evicted.push_back(it->first);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  evicted_ += evicted.size();
+  return evicted;
+}
 
 }  // namespace vpm::net

@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <unordered_map>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -38,15 +39,24 @@ class TcpReassembler {
   // Flushes knowledge of a flow (connection close / timeout).
   void close_flow(const FiveTuple& tuple);
 
+  // Evicts every flow whose last ingested segment is older than `idle_us`
+  // relative to `now_us` (packet-capture time, not wall time).  Buffered
+  // out-of-order data of evicted flows is discarded.  Returns the evicted
+  // tuples so callers can tear down dependent per-flow state (e.g. the IDS
+  // engine's stream scanners).  idle_us == 0 evicts nothing.
+  std::vector<FiveTuple> evict_idle(std::uint64_t now_us, std::uint64_t idle_us);
+
   std::size_t active_flows() const { return flows_.size(); }
   std::uint64_t dropped_segments() const { return dropped_; }
   std::uint64_t duplicate_bytes_trimmed() const { return trimmed_; }
+  std::uint64_t evicted_flows() const { return evicted_; }
 
  private:
   struct FlowState {
     std::uint32_t initial_seq = 0;
     bool pinned = false;
     std::uint64_t next_offset = 0;  // stream offset expected next
+    std::uint64_t last_activity_us = 0;  // timestamp of the last ingested segment
     // Out-of-order segments keyed by stream offset.
     std::map<std::uint64_t, util::Bytes> pending;
     std::size_t pending_bytes = 0;
@@ -63,6 +73,7 @@ class TcpReassembler {
   std::unordered_map<FiveTuple, FlowState, TupleHash> flows_;
   std::uint64_t dropped_ = 0;
   std::uint64_t trimmed_ = 0;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace vpm::net

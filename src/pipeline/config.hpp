@@ -1,0 +1,57 @@
+// Configuration for the sharded multi-worker pipeline runtime.
+//
+// The runtime mirrors an RSS-style NIC deployment: each flow is hashed to
+// one worker shard, so per-flow packet order is preserved without locks on
+// the hot path, and every worker owns a private TcpReassembler + IdsEngine
+// pair (shared-nothing; the only cross-thread structures are the SPSC rings
+// and the stats counters).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/matcher_factory.hpp"
+#include "ids/alert.hpp"
+#include "net/packet.hpp"
+#include "net/reassembly.hpp"
+
+namespace vpm::pipeline {
+
+// A unit of transfer through the rings: packets are moved in batches to
+// amortize queue synchronization over many small segments.
+using PacketBatch = std::vector<net::Packet>;
+
+// The pipeline's flow identity: the engine flow id every worker uses, and
+// the value the shard index is derived from — identical to what a
+// single-threaded reference over the same packets would compute, which is
+// what makes the sharded alert multiset comparable.
+inline std::uint64_t flow_key(const net::FiveTuple& tuple) { return tuple.hash(); }
+
+// What the ingest side does when a worker's ring is full.
+//   block: spin/yield until the worker catches up (lossless, default).
+//   drop:  discard the batch and count the packets (NIC-like tail drop).
+enum class BackpressurePolicy : std::uint8_t { block, drop };
+
+struct PipelineConfig {
+  core::Algorithm algorithm = core::Algorithm::vpatch;
+  unsigned workers = 2;              // shard / worker-thread count (>= 1)
+  std::size_t batch_packets = 32;    // packets per batch before a ring push
+  std::size_t ring_batches = 256;    // per-worker ring capacity, in batches
+  BackpressurePolicy backpressure = BackpressurePolicy::block;
+
+  // Idle-flow eviction keeps per-worker flow tables bounded under churn.
+  // Time is packet-capture time (Packet::timestamp_us), not wall time, so
+  // replays behave identically at any speed.  0 disables eviction.
+  std::uint64_t idle_timeout_us = 0;
+  std::size_t eviction_sweep_packets = 512;  // packets between sweeps
+
+  net::ReassemblyLimits reassembly{};
+
+  // Optional live alert delivery.  Called from worker threads concurrently;
+  // the sink must be thread-safe.  When null, alerts are buffered per worker
+  // and available from PipelineRuntime::alerts() after stop().
+  ids::AlertSink* alert_sink = nullptr;
+};
+
+}  // namespace vpm::pipeline

@@ -1,0 +1,81 @@
+#include "pipeline/runtime.hpp"
+
+#include <stdexcept>
+
+namespace vpm::pipeline {
+
+PipelineRuntime::PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg)
+    : cfg_(cfg) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.batch_packets == 0) cfg_.batch_packets = 1;
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(rules, cfg_));
+  }
+  std::vector<ShardRouter::Ring*> rings;
+  rings.reserve(workers_.size());
+  for (auto& w : workers_) rings.push_back(&w->ring());
+  router_ = std::make_unique<ShardRouter>(std::move(rings), cfg_.batch_packets,
+                                          cfg_.backpressure);
+}
+
+PipelineRuntime::~PipelineRuntime() {
+  if (running_) stop();
+}
+
+void PipelineRuntime::start() {
+  if (running_ || stopped_) {
+    throw std::logic_error("PipelineRuntime::start: runtime is one-shot");
+  }
+  for (auto& w : workers_) w->start();
+  running_ = true;
+}
+
+bool PipelineRuntime::submit(net::Packet packet) {
+  if (!running_) throw std::logic_error("PipelineRuntime::submit: not running");
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return router_->route(std::move(packet));
+}
+
+std::size_t PipelineRuntime::submit(std::span<const net::Packet> packets) {
+  // Drops happen at batch granularity, so "how many of *these* packets
+  // survived" is measured against the drop counter, not per-call returns.
+  const std::uint64_t dropped_before = router_->dropped();
+  for (const net::Packet& p : packets) submit(p);
+  const std::uint64_t dropped = router_->dropped() - dropped_before;
+  return packets.size() > dropped ? packets.size() - static_cast<std::size_t>(dropped)
+                                  : 0;
+}
+
+void PipelineRuntime::flush() {
+  if (running_) router_->flush();
+}
+
+void PipelineRuntime::stop() {
+  if (!running_) return;
+  router_->flush();
+  // done_ is set only after the flush above, so a worker that observes it
+  // and then finds its ring empty has truly consumed everything.
+  for (auto& w : workers_) w->request_stop();
+  for (auto& w : workers_) w->join();
+  for (auto& w : workers_) {
+    std::vector<ids::Alert>& a = w->alerts();
+    alerts_.insert(alerts_.end(), a.begin(), a.end());
+    a.clear();
+    a.shrink_to_fit();
+  }
+  running_ = false;
+  stopped_ = true;
+}
+
+PipelineStats PipelineRuntime::stats() const {
+  PipelineStats s;
+  s.workers.reserve(workers_.size());
+  for (const auto& w : workers_) s.workers.push_back(w->stats());
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.routed = router_->routed();
+  s.dropped_backpressure = router_->dropped();
+  return s;
+}
+
+}  // namespace vpm::pipeline

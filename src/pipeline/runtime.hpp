@@ -1,0 +1,89 @@
+// The sharded multi-worker IDS runtime.
+//
+// Usage:
+//   pipeline::PipelineConfig cfg;
+//   cfg.workers = 4;
+//   pipeline::PipelineRuntime rt(rules, cfg);
+//   rt.start();
+//   for (net::Packet& p : packets) rt.submit(std::move(p));
+//   rt.stop();                       // flush + drain + join
+//   use rt.alerts(), rt.stats();
+//
+// Determinism contract: with eviction and the drop policy disabled, the
+// union of all workers' alerts is the same multiset a single-threaded
+// IdsEngine fed by one TcpReassembler would produce over the same packets
+// (flow ids are flow_key(tuple) in both cases) — flows never split across
+// workers and per-flow order is preserved through the FIFO rings.  The
+// differential test suite enforces this across worker counts and algorithms.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ids/alert.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/shard_router.hpp"
+#include "pipeline/stats.hpp"
+#include "pipeline/worker.hpp"
+
+namespace vpm::pipeline {
+
+class PipelineRuntime {
+ public:
+  // Builds one engine per worker over `rules` (which must outlive the
+  // runtime).  Worker counts are clamped to >= 1.
+  PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg = {});
+  ~PipelineRuntime();  // stops and joins if still running
+
+  PipelineRuntime(const PipelineRuntime&) = delete;
+  PipelineRuntime& operator=(const PipelineRuntime&) = delete;
+
+  // Spawns the worker threads.  One-shot: a runtime is started once.
+  void start();
+
+  // Routes one packet to its flow's shard.  Single-producer: submit(),
+  // flush() and stop() must all be called from one thread.  Returns false
+  // when the drop backpressure policy discarded a batch during this call —
+  // the discarded batch may also contain earlier buffered packets, and a
+  // packet accepted now can still be dropped by a later batch push or
+  // flush(), so per-packet loss accounting must use
+  // stats().dropped_backpressure, not the return values.
+  bool submit(net::Packet packet);
+
+  // Convenience bulk submit (copies).  Returns packets.size() minus the
+  // packets the drop policy discarded while this call ran (batch
+  // granularity; same caveats as the single-packet overload).
+  std::size_t submit(std::span<const net::Packet> packets);
+
+  // Pushes partially filled batches without stopping.
+  void flush();
+
+  // Drains: flushes, lets every worker consume its ring to empty, joins the
+  // threads, and gathers alerts.  Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  const PipelineConfig& config() const { return cfg_; }
+  unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Counter snapshot; callable from any thread, before, during or after the
+  // run.
+  PipelineStats stats() const;
+
+  // All workers' alerts concatenated (worker-major order).  Valid after
+  // stop(); empty when cfg.alert_sink routed alerts elsewhere.
+  const std::vector<ids::Alert>& alerts() const { return alerts_; }
+
+ private:
+  PipelineConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ShardRouter> router_;
+  std::vector<ids::Alert> alerts_;
+  std::atomic<std::uint64_t> submitted_{0};
+  bool running_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace vpm::pipeline

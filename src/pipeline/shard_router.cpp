@@ -1,0 +1,68 @@
+#include "pipeline/shard_router.hpp"
+
+#include <thread>
+
+namespace vpm::pipeline {
+
+unsigned shard_of(const net::FiveTuple& tuple, unsigned shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t z = flow_key(tuple) + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return static_cast<unsigned>(z % shards);
+}
+
+ShardRouter::ShardRouter(std::vector<Ring*> rings, std::size_t batch_packets,
+                         BackpressurePolicy policy)
+    : rings_(std::move(rings)),
+      pending_(rings_.size()),
+      batch_packets_(batch_packets > 0 ? batch_packets : 1),
+      policy_(policy) {
+  for (PacketBatch& b : pending_) b.reserve(batch_packets_);
+}
+
+bool ShardRouter::route(net::Packet&& packet) {
+  const std::size_t shard = shard_of(packet.tuple, static_cast<unsigned>(rings_.size()));
+  PacketBatch& batch = pending_[shard];
+  batch.push_back(std::move(packet));
+  if (batch.size() < batch_packets_) return true;
+  return push_batch(shard);
+}
+
+void ShardRouter::flush() {
+  for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
+    if (!pending_[shard].empty()) push_batch(shard);
+  }
+}
+
+bool ShardRouter::push_batch(std::size_t shard) {
+  PacketBatch& batch = pending_[shard];
+  const std::size_t n = batch.size();
+  if (policy_ == BackpressurePolicy::block) {
+    // Spin briefly, then yield: the consumer is another thread on this host,
+    // so the queue-full condition clears in microseconds unless the worker
+    // is genuinely saturated.
+    unsigned spins = 0;
+    while (!rings_[shard]->try_push(batch)) {
+      if (++spins >= 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  } else {
+    if (!rings_[shard]->try_push(batch)) {
+      dropped_.fetch_add(n, std::memory_order_relaxed);
+      batch.clear();
+      batch.reserve(batch_packets_);
+      return false;
+    }
+  }
+  routed_.fetch_add(n, std::memory_order_relaxed);
+  // try_push moved the vector out; restore a usable buffer.
+  batch = PacketBatch();
+  batch.reserve(batch_packets_);
+  return true;
+}
+
+}  // namespace vpm::pipeline

@@ -1,0 +1,56 @@
+// Flow-sharded packet routing with batching and backpressure.
+//
+// Every packet of a flow must reach the same worker in submission order —
+// that is the whole determinism story of the pipeline: per-flow stream order
+// is preserved by construction (one FIFO ring per shard), and flows never
+// share mutable state across workers.  The shard index is derived from the
+// same 64-bit flow key the workers use for engine flow ids, so even two
+// tuples that collide in the key land on the same worker and behave exactly
+// as they would single-threaded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/spsc_ring.hpp"
+
+namespace vpm::pipeline {
+
+// Shard index for a tuple (splitmix64 finalizer over the flow key, so the
+// raw key's low bits need not be well distributed).
+unsigned shard_of(const net::FiveTuple& tuple, unsigned shards);
+
+class ShardRouter {
+ public:
+  using Ring = SpscRing<PacketBatch>;
+
+  // `rings[i]` receives shard i's batches; pointers must outlive the router.
+  ShardRouter(std::vector<Ring*> rings, std::size_t batch_packets,
+              BackpressurePolicy policy);
+
+  // Routes one packet; pushes its shard's batch when full.  Returns false
+  // only when the drop policy discarded the batch the packet was put in.
+  bool route(net::Packet&& packet);
+
+  // Pushes every partial batch (end of input / drain).
+  void flush();
+
+  // Relaxed atomics: readable from any thread for stats snapshots.
+  std::uint64_t routed() const { return routed_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  bool push_batch(std::size_t shard);
+
+  std::vector<Ring*> rings_;
+  std::vector<PacketBatch> pending_;  // one partial batch per shard
+  std::size_t batch_packets_;
+  BackpressurePolicy policy_;
+  std::atomic<std::uint64_t> routed_{0};   // packets successfully pushed into a ring
+  std::atomic<std::uint64_t> dropped_{0};  // packets discarded under the drop policy
+};
+
+}  // namespace vpm::pipeline

@@ -1,0 +1,57 @@
+// Aggregated counter view of a running (or finished) pipeline.
+//
+// Workers publish their counters through relaxed atomics after every batch,
+// so PipelineRuntime::stats() can be called from any thread at any time and
+// returns a coherent-enough snapshot (counts lag by at most one in-flight
+// batch per worker).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vpm::pipeline {
+
+struct WorkerStats {
+  std::uint64_t packets = 0;         // packets consumed from the ring
+  std::uint64_t batches = 0;         // batches consumed from the ring
+  std::uint64_t payload_bytes = 0;   // raw payload bytes ingested
+  std::uint64_t bytes_inspected = 0; // bytes the engine actually scanned
+  std::uint64_t chunks = 0;          // reassembled chunks fed to the engine
+  std::uint64_t alerts = 0;
+  std::uint64_t flows_seen = 0;      // distinct flows the engine ever saw
+  std::uint64_t flows_evicted = 0;   // idle evictions (engine + reassembler)
+  std::uint64_t reassembly_drops = 0;
+  std::uint64_t duplicate_bytes_trimmed = 0;
+  std::uint64_t active_flows = 0;    // engine flows currently holding state
+
+  WorkerStats& operator+=(const WorkerStats& o) {
+    packets += o.packets;
+    batches += o.batches;
+    payload_bytes += o.payload_bytes;
+    bytes_inspected += o.bytes_inspected;
+    chunks += o.chunks;
+    alerts += o.alerts;
+    flows_seen += o.flows_seen;
+    flows_evicted += o.flows_evicted;
+    reassembly_drops += o.reassembly_drops;
+    duplicate_bytes_trimmed += o.duplicate_bytes_trimmed;
+    active_flows += o.active_flows;
+    return *this;
+  }
+};
+
+struct PipelineStats {
+  std::vector<WorkerStats> workers;
+  std::uint64_t submitted = 0;             // packets handed to submit()
+  std::uint64_t routed = 0;                // packets pushed into some ring
+  std::uint64_t dropped_backpressure = 0;  // packets discarded (drop policy)
+
+  WorkerStats totals() const {
+    WorkerStats t;
+    for (const WorkerStats& w : workers) t += w;
+    return t;
+  }
+};
+
+}  // namespace vpm::pipeline

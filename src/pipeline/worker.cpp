@@ -1,0 +1,140 @@
+#include "pipeline/worker.hpp"
+
+#include <algorithm>
+
+#include "ids/pcap_pipeline.hpp"
+
+namespace vpm::pipeline {
+
+Worker::Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg)
+    : cfg_(cfg),
+      ring_(cfg.ring_batches > 0 ? cfg.ring_batches : 1),
+      reassembler_(
+          [this](const net::FiveTuple& tuple, std::uint64_t /*stream_offset*/,
+                 util::ByteView chunk) {
+            engine_.inspect(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk,
+                            *sink_);
+          },
+          cfg.reassembly),
+      engine_(rules, {cfg.algorithm}),
+      sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_) {}
+
+Worker::~Worker() {
+  if (thread_.joinable()) {
+    request_stop();
+    join();
+  }
+}
+
+void Worker::start() { thread_ = std::thread([this] { run(); }); }
+
+void Worker::request_stop() { done_.store(true, std::memory_order_release); }
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::run() {
+  PacketBatch batch;
+  unsigned idle_spins = 0;
+  for (;;) {
+    if (ring_.try_pop(batch)) {
+      process(batch);
+      batch.clear();
+      idle_spins = 0;
+      continue;
+    }
+    // The producer sets done_ only after flushing, so an empty ring observed
+    // AFTER the done_ load means there is nothing left to drain.
+    if (done_.load(std::memory_order_acquire)) {
+      if (ring_.try_pop(batch)) {
+        process(batch);
+        batch.clear();
+        continue;
+      }
+      break;
+    }
+    if (++idle_spins >= 64) {
+      std::this_thread::yield();
+      idle_spins = 0;
+    }
+  }
+  publish_stats();
+}
+
+void Worker::process(PacketBatch& batch) {
+  for (net::Packet& p : batch) handle_packet(p);
+  published_.batches.fetch_add(1, std::memory_order_relaxed);
+  publish_stats();
+}
+
+void Worker::handle_packet(net::Packet& packet) {
+  virtual_now_us_ = std::max(virtual_now_us_, packet.timestamp_us);
+  published_.packets.fetch_add(1, std::memory_order_relaxed);
+  published_.payload_bytes.fetch_add(packet.payload.size(), std::memory_order_relaxed);
+
+  if (packet.tuple.proto == net::IpProto::tcp) {
+    reassembler_.ingest(packet);
+  } else {
+    // UDP: datagram-scoped scan; the engine still keeps per-flow carry so a
+    // pattern split across datagrams of one flow is found.
+    const std::uint64_t key = flow_key(packet.tuple);
+    udp_last_seen_[key] = virtual_now_us_;
+    engine_.inspect(key, ids::classify_port(packet.tuple.dst_port), packet.payload,
+                    *sink_);
+  }
+
+  if (cfg_.idle_timeout_us > 0 &&
+      ++packets_since_sweep_ >= cfg_.eviction_sweep_packets) {
+    packets_since_sweep_ = 0;
+    sweep_idle();
+  }
+}
+
+void Worker::sweep_idle() {
+  const auto evicted = reassembler_.evict_idle(virtual_now_us_, cfg_.idle_timeout_us);
+  for (const net::FiveTuple& tuple : evicted) engine_.close_flow(flow_key(tuple));
+  evicted_ += evicted.size();
+  for (auto it = udp_last_seen_.begin(); it != udp_last_seen_.end();) {
+    if (it->second + cfg_.idle_timeout_us <= virtual_now_us_) {
+      engine_.close_flow(it->first);
+      ++evicted_;
+      it = udp_last_seen_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Worker::publish_stats() {
+  const ids::EngineCounters& ec = engine_.counters();
+  published_.bytes_inspected.store(ec.bytes_inspected, std::memory_order_relaxed);
+  published_.chunks.store(ec.chunks, std::memory_order_relaxed);
+  published_.alerts.store(ec.alerts, std::memory_order_relaxed);
+  published_.flows_seen.store(ec.flows, std::memory_order_relaxed);
+  published_.flows_evicted.store(evicted_, std::memory_order_relaxed);
+  published_.reassembly_drops.store(reassembler_.dropped_segments(),
+                                    std::memory_order_relaxed);
+  published_.duplicate_bytes_trimmed.store(reassembler_.duplicate_bytes_trimmed(),
+                                           std::memory_order_relaxed);
+  published_.active_flows.store(engine_.active_flows(), std::memory_order_relaxed);
+}
+
+WorkerStats Worker::stats() const {
+  WorkerStats s;
+  s.packets = published_.packets.load(std::memory_order_relaxed);
+  s.batches = published_.batches.load(std::memory_order_relaxed);
+  s.payload_bytes = published_.payload_bytes.load(std::memory_order_relaxed);
+  s.bytes_inspected = published_.bytes_inspected.load(std::memory_order_relaxed);
+  s.chunks = published_.chunks.load(std::memory_order_relaxed);
+  s.alerts = published_.alerts.load(std::memory_order_relaxed);
+  s.flows_seen = published_.flows_seen.load(std::memory_order_relaxed);
+  s.flows_evicted = published_.flows_evicted.load(std::memory_order_relaxed);
+  s.reassembly_drops = published_.reassembly_drops.load(std::memory_order_relaxed);
+  s.duplicate_bytes_trimmed =
+      published_.duplicate_bytes_trimmed.load(std::memory_order_relaxed);
+  s.active_flows = published_.active_flows.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vpm::pipeline

@@ -1,0 +1,93 @@
+// One pipeline shard: a consumer thread owning a private TcpReassembler +
+// IdsEngine pair, fed packet batches through an SPSC ring.
+//
+// Shared-nothing by construction: the worker's flow tables, scanners, and
+// alert buffer are touched only by its thread; the ring and the atomic
+// counter mirror are the only cross-thread state.  Flow ids are the stable
+// flow_key (tuple hash), so a worker's alerts are bitwise what a
+// single-threaded engine would emit for the same flows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ids/engine.hpp"
+#include "net/reassembly.hpp"
+#include "pipeline/config.hpp"
+#include "pipeline/spsc_ring.hpp"
+#include "pipeline/stats.hpp"
+
+namespace vpm::pipeline {
+
+class Worker {
+ public:
+  // Builds this shard's engine over `rules` (each worker gets its own
+  // matchers; `rules` must outlive the worker).
+  Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  SpscRing<PacketBatch>& ring() { return ring_; }
+
+  void start();
+  // Tells the thread to exit once the ring is drained (producer must have
+  // flushed and stopped pushing first).
+  void request_stop();
+  void join();
+
+  // Coherent-enough snapshot; callable from any thread while running.
+  WorkerStats stats() const;
+
+  // The worker's buffered alerts (empty when cfg.alert_sink routed them
+  // elsewhere).  Only valid after join().
+  std::vector<ids::Alert>& alerts() { return alerts_; }
+
+ private:
+  void run();
+  void process(PacketBatch& batch);
+  void handle_packet(net::Packet& packet);
+  void sweep_idle();
+  void publish_stats();
+
+  const PipelineConfig cfg_;
+  SpscRing<PacketBatch> ring_;
+  net::TcpReassembler reassembler_;
+  ids::IdsEngine engine_;
+  std::vector<ids::Alert> alerts_;
+  ids::AlertBuffer buffer_sink_{alerts_};
+  ids::AlertSink* sink_;  // cfg_.alert_sink or &buffer_sink_
+
+  // Worker-thread-local bookkeeping.
+  std::uint64_t virtual_now_us_ = 0;  // max packet timestamp seen
+  std::size_t packets_since_sweep_ = 0;
+  // Last activity of engine-only (UDP) flows; TCP flows are tracked by the
+  // reassembler itself.
+  std::unordered_map<std::uint64_t, std::uint64_t> udp_last_seen_;
+
+  // Published counters (relaxed; read by stats()).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> payload_bytes{0};
+    std::atomic<std::uint64_t> bytes_inspected{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> alerts{0};
+    std::atomic<std::uint64_t> flows_seen{0};
+    std::atomic<std::uint64_t> flows_evicted{0};
+    std::atomic<std::uint64_t> reassembly_drops{0};
+    std::atomic<std::uint64_t> duplicate_bytes_trimmed{0};
+    std::atomic<std::uint64_t> active_flows{0};
+  };
+  AtomicStats published_;
+  std::uint64_t evicted_ = 0;  // engine+reassembler evictions (thread-local)
+
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+}  // namespace vpm::pipeline

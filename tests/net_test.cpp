@@ -187,6 +187,84 @@ TEST(Reassembly, BufferBudgetDropsFloods) {
   EXPECT_EQ(chunks, 1u) << "only the pinning segment is in order";
 }
 
+TEST(Reassembly, EvictIdleRemovesOnlyStaleFlows) {
+  std::size_t chunks = 0;
+  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; });
+  auto stale = tuple_a();
+  auto fresh = tuple_a();
+  fresh.src_port = 55555;
+  r.ingest(make_packet(stale, 0, "old flow", /*ts=*/1000));
+  r.ingest(make_packet(fresh, 0, "new flow", /*ts=*/900000));
+  ASSERT_EQ(r.active_flows(), 2u);
+
+  const auto evicted = r.evict_idle(/*now_us=*/1000000, /*idle_us=*/500000);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], stale);
+  EXPECT_EQ(r.active_flows(), 1u);
+  EXPECT_EQ(r.evicted_flows(), 1u);
+
+  // idle_us == 0 disables eviction entirely.
+  EXPECT_TRUE(r.evict_idle(1u << 30, 0).empty());
+  EXPECT_EQ(r.active_flows(), 1u);
+}
+
+TEST(Reassembly, EvictedFlowForgetsPendingAndRestartsClean) {
+  std::string stream;
+  std::vector<std::uint64_t> offsets;
+  TcpReassembler r([&](const FiveTuple&, std::uint64_t off, util::ByteView chunk) {
+    offsets.push_back(off);
+    stream += util::to_string(chunk);
+  });
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 100, "head", 10));
+  r.ingest(make_packet(t, 120, "buffered-beyond-a-hole", 20));  // pending, never drains
+  EXPECT_EQ(stream, "head");
+
+  ASSERT_EQ(r.evict_idle(2000000, 1000).size(), 1u);
+  // The flow returns after eviction: it re-pins a fresh initial sequence and
+  // the stale buffered segment must not resurface.
+  r.ingest(make_packet(t, 5000, "restarted", 3000000));
+  EXPECT_EQ(stream, "headrestarted");
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[1], 0u) << "post-eviction data re-pins at stream offset 0";
+}
+
+// The satellite churn contract at the reassembler layer: short-lived flows
+// plus out-of-order floods; periodic eviction keeps the flow table bounded
+// and the drop/evict counters account for the abuse.
+TEST(Reassembly, AdversarialChurnStaysBounded) {
+  ReassemblyLimits limits;
+  limits.max_buffered_bytes = 2048;
+  std::size_t chunks = 0;
+  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; },
+                   limits);
+
+  constexpr std::uint32_t kFlows = 2000;
+  std::size_t max_active = 0;
+  std::uint64_t now_us = 0;
+  for (std::uint32_t f = 0; f < kFlows; ++f) {
+    now_us += 100;
+    FiveTuple t = tuple_a();
+    t.src_ip = 0x0A000000u + f;
+    t.src_port = static_cast<std::uint16_t>(40000 + (f % 10000));
+    r.ingest(make_packet(t, 0, "hello", now_us));
+    // Out-of-order flood behind a hole: most of it must hit the budget.
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      r.ingest(make_packet(t, 10000 + k * 600, std::string(600, 'x'), now_us));
+    }
+    if (f % 64 == 0) {
+      r.evict_idle(now_us, /*idle_us=*/3200);
+      max_active = std::max(max_active, r.active_flows());
+    }
+  }
+  r.evict_idle(now_us + 10000, 3200);
+  EXPECT_EQ(r.active_flows(), 0u);
+  EXPECT_LT(max_active, 256u) << "flow table must stay bounded under churn";
+  EXPECT_GT(r.dropped_segments(), 0u);
+  EXPECT_GE(r.evicted_flows(), kFlows - 256u);
+  EXPECT_EQ(chunks, kFlows) << "each flow's single in-order segment is delivered";
+}
+
 TEST(Reassembly, EmptyPayloadIgnored) {
   std::size_t chunks = 0;
   TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; });

@@ -77,6 +77,50 @@ TEST(ParallelScan, EmptyInput) {
   EXPECT_EQ(parallel_count_matches(*m, {}, cfg), 0u);
 }
 
+TEST(ParallelScan, SetAwareOverloadDerivesExactOverlap) {
+  // The footgun this guards: a config default shorter than the longest
+  // pattern used to silently lose boundary-straddling matches.  The
+  // set-aware overloads derive the overlap from the actual set.
+  const auto set = testutil::random_set(60, 12, testutil::case_seed(8));
+  const auto m = make_matcher(Algorithm::vpatch, set);
+  const auto text = testutil::random_text(300000, testutil::case_seed(9));
+  const auto expected = m->find_matches(text);
+  for (unsigned threads : {2u, 4u}) {
+    ParallelScanConfig cfg;
+    cfg.threads = threads;  // max_pattern_len left 0: derived from the set
+    EXPECT_EQ(parallel_find_matches(*m, set, text, cfg), expected)
+        << threads << " threads (" << testutil::seed_note() << ")";
+    EXPECT_EQ(parallel_count_matches(*m, set, text, cfg), expected.size()) << threads;
+  }
+}
+
+TEST(ParallelScan, SetAwareAcceptsExplicitGenerousBound) {
+  const auto set = testutil::random_set(40, 6, testutil::case_seed(10));
+  const auto m = make_matcher(Algorithm::spatch, set);
+  const auto text = testutil::random_text(200000, testutil::case_seed(11));
+  ParallelScanConfig cfg;
+  cfg.threads = 3;
+  cfg.max_pattern_len = 4096;  // >= true max: allowed, still exact
+  EXPECT_EQ(parallel_find_matches(*m, set, text, cfg), m->find_matches(text));
+}
+
+TEST(ParallelScan, SetlessZeroFallsBackToSingleThreadedScan) {
+  // Without a PatternSet the scan cannot know the true max; an unspecified
+  // bound degrades to a plain single-threaded scan — slower, never wrong.
+  pattern::PatternSet set;
+  const std::string long_pattern(500, 'q');
+  set.add(long_pattern);
+  const auto m = make_matcher(Algorithm::aho_corasick, set);
+  std::string text(400000, '.');
+  const std::size_t half = text.size() / 2;
+  text.replace(half - long_pattern.size() / 2, long_pattern.size(), long_pattern);
+  ParallelScanConfig cfg;
+  cfg.threads = 2;  // max_pattern_len left 0
+  EXPECT_EQ(parallel_find_matches(*m, util::as_view(text), cfg).size(), 1u)
+      << "a 500-byte straddler must survive the set-less default";
+  EXPECT_EQ(parallel_count_matches(*m, util::as_view(text), cfg), 1u);
+}
+
 TEST(ParallelScan, OverestimatedMaxLenIsSafe) {
   const auto set = testutil::random_set(40, 6, testutil::case_seed(6));
   const auto m = make_matcher(Algorithm::vpatch, set);
