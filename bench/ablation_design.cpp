@@ -39,14 +39,15 @@ int main_impl(int argc, char** argv) {
   }
 
   double base = 0.0;
+  ScanScratch scratch;  // reused across configurations and runs
   auto row = [&](const std::string& label, const core::VpatchConfig& cfg) {
     const core::VpatchMatcher m(set, cfg);
     volatile std::uint64_t guard = 0;
-    m.filter_only(trace, true);  // warm-up
+    m.filter_only(trace, true, scratch);  // warm-up
     util::RunningStats stats;
     for (unsigned r = 0; r < opt.runs; ++r) {
       util::Timer timer;
-      const auto res = m.filter_only(trace, true);
+      const auto res = m.filter_only(trace, true, scratch);
       stats.add(util::gbps(trace.size(), timer.seconds()));
       guard = guard + res.short_candidates + res.long_candidates;
     }

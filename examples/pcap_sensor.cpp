@@ -4,6 +4,9 @@
 //   ./pcap_sensor <capture.pcap> [rules.rules]   inspect a real capture
 //   ./pcap_sensor --demo                         generate + inspect a capture
 //   ./pcap_sensor --workers=N ...                shard flows across N workers
+//   ./pcap_sensor --batch=N ...                  packets per ring batch (with
+//                                                --workers; batches feed the
+//                                                engines' scan_batch fast path)
 //
 // Demo mode synthesizes HTTP flows (with deliberately reordered segments and
 // planted attack payloads), writes a well-formed pcap to a temp file, then
@@ -29,12 +32,13 @@ namespace {
 using namespace vpm;
 
 int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-                unsigned workers) {
+                unsigned workers, std::size_t batch_packets) {
   auto parsed = net::read_pcap(pcap_bytes);
 
   pipeline::PipelineConfig cfg;
   cfg.algorithm = core::Algorithm::vpatch;
   cfg.workers = workers;
+  if (batch_packets > 0) cfg.batch_packets = batch_packets;
   pipeline::PipelineRuntime rt(rules, cfg);
   rt.start();
   util::Timer timer;
@@ -44,9 +48,10 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 
   const auto stats = rt.stats();
   const auto totals = stats.totals();
-  std::printf("pipeline: %u workers, %zu packets (skipped %zu), %llu flows, "
+  std::printf("pipeline: %u workers, batch %zu, %zu packets (skipped %zu), %llu flows, "
               "reassembly drops: %llu\n",
-              rt.workers(), parsed.packets.size(), parsed.skipped_records,
+              rt.workers(), cfg.batch_packets, parsed.packets.size(),
+              parsed.skipped_records,
               static_cast<unsigned long long>(totals.flows_seen),
               static_cast<unsigned long long>(totals.reassembly_drops));
   for (std::size_t w = 0; w < stats.workers.size(); ++w) {
@@ -55,9 +60,11 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
                 static_cast<unsigned long long>(stats.workers[w].flows_seen),
                 static_cast<unsigned long long>(stats.workers[w].alerts));
   }
-  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps end-to-end)\n",
+  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps end-to-end, "
+              "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(totals.bytes_inspected), secs,
-              util::gbps(totals.bytes_inspected, secs));
+              util::gbps(totals.bytes_inspected, secs),
+              secs > 0 ? static_cast<double>(parsed.packets.size()) / secs / 1e3 : 0.0);
   std::printf("%zu alerts; first 10:\n", rt.alerts().size());
   for (std::size_t i = 0; i < rt.alerts().size() && i < 10; ++i) {
     std::printf("  %s\n", format_alert(rt.alerts()[i], rules).c_str());
@@ -76,9 +83,11 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
               static_cast<unsigned long long>(result.counters.flows),
               static_cast<unsigned long long>(result.reassembly_drops),
               static_cast<unsigned long long>(result.duplicate_bytes_trimmed));
-  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps incl. reassembly)\n",
+  std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps incl. reassembly, "
+              "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(result.counters.bytes_inspected), secs,
-              util::gbps(result.counters.bytes_inspected, secs));
+              util::gbps(result.counters.bytes_inspected, secs),
+              secs > 0 ? static_cast<double>(result.packets) / secs / 1e3 : 0.0);
   std::printf("%zu alerts; first 10:\n", result.alerts.size());
   for (std::size_t i = 0; i < result.alerts.size() && i < 10; ++i) {
     std::printf("  %s\n", format_alert(result.alerts[i], rules).c_str());
@@ -86,7 +95,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
   return 0;
 }
 
-int run_demo(unsigned workers) {
+int run_demo(unsigned workers, std::size_t batch_packets) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -125,28 +134,37 @@ int run_demo(unsigned workers) {
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return workers > 0 ? run_sharded(pcap, rules, workers) : run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets)
+                     : run(pcap, rules);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned workers = 0;  // 0 = single-threaded inspect_pcap path
+  unsigned workers = 0;        // 0 = single-threaded inspect_pcap path
+  std::size_t batch_packets = 0;  // 0 = PipelineConfig default
   bool demo = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      batch_packets = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
-  if (demo) return run_demo(workers);
+  if (workers == 0 && batch_packets > 0) {
+    std::fprintf(stderr,
+                 "note: --batch=N only affects the sharded pipeline; add --workers=N\n");
+  }
+  if (demo) return run_demo(workers, batch_packets);
   if (positional.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--workers=N] <capture.pcap> [rules.rules]  |  %s --demo\n",
+                 "usage: %s [--workers=N] [--batch=N] <capture.pcap> [rules.rules]  |  "
+                 "%s --demo\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -158,5 +176,5 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return workers > 0 ? run_sharded(pcap, rules, workers) : run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets) : run(pcap, rules);
 }

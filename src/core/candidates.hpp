@@ -4,30 +4,75 @@
 // carry slack beyond the logical end because the AVX2 left-pack store always
 // writes a full vector register (8 dwords) regardless of how many lanes
 // matched.
+//
+// Storage is deliberately UNINITIALIZED on growth: every dword below the
+// logical end (n_short / n_long) is written by a left-pack store or the
+// scalar append before it is ever read, and the slack region is write-only,
+// so the value-initialization a std::vector resize would perform is pure
+// waste on the hot path.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <memory>
+
+#include "match/matcher.hpp"
 
 namespace vpm::core {
 
+// Grow-only array of uninitialized trivially-copyable storage.  Growth
+// discards previous contents (callers fill from scratch after ensure()).
+template <class T>
+class UninitArray {
+ public:
+  void ensure(std::size_t need) {
+    if (capacity_ < need) {
+      data_ = std::make_unique_for_overwrite<T[]>(need);
+      capacity_ = need;
+    }
+  }
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  std::size_t capacity_ = 0;
+};
+
 struct CandidateBuffers {
-  std::vector<std::uint32_t> short_pos;
-  std::vector<std::uint32_t> long_pos;
+  UninitArray<std::uint32_t> short_pos;
+  UninitArray<std::uint32_t> long_pos;
   std::uint32_t n_short = 0;
   std::uint32_t n_long = 0;
 
   static constexpr std::size_t kStoreSlack = 16;  // >= one full vector store
 
-  // Capacity for filtering a chunk of `chunk_positions` positions: every
-  // position can be stored in both arrays in the worst case.
+  // Capacity for filtering `chunk_positions` input positions: every position
+  // can be stored in both arrays in the worst case.  Growth discards current
+  // contents (call before round one starts, never between rounds).
   void ensure_capacity(std::size_t chunk_positions) {
     const std::size_t need = chunk_positions + kStoreSlack;
-    if (short_pos.size() < need) short_pos.resize(need);
-    if (long_pos.size() < need) long_pos.resize(need);
+    short_pos.ensure(need);
+    long_pos.ensure(need);
   }
 
   void clear() { n_short = n_long = 0; }
+};
+
+// Reusable state for the two-round batch fast path (Matcher::scan_batch):
+// one shared candidate pool segmented per payload, the candidate -> payload
+// index maps, and the stage-one scratch of the software-pipelined deferred
+// verification round.  Installed into a caller-owned ScanScratch so the
+// steady-state batch loop performs zero heap allocations.
+struct BatchScanState final : ScanScratch::State {
+  CandidateBuffers buffers;
+  UninitArray<std::uint32_t> short_item;   // short candidate -> payload index
+  UninitArray<std::uint32_t> long_item;    // long candidate -> payload index
+  UninitArray<std::uint32_t> entry_begin;  // resolved CSR entry ranges (long)
+  UninitArray<std::uint32_t> entry_end;
+  UninitArray<std::uint32_t> window4;      // 4-byte windows of long candidates
 };
 
 }  // namespace vpm::core

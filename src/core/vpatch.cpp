@@ -1,6 +1,7 @@
 #include "core/vpatch.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "simd/cpu_features.hpp"
 #include "util/timer.hpp"
@@ -81,12 +82,16 @@ void VpatchMatcher::scan_impl(util::ByteView data, MatchSink& sink, ScanStats* s
   CandidateBuffers buffers;
   buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
 
+  // The round timer only exists in the instrumented instantiation — a clock
+  // read per chunk is real money on small-packet scans.
+  using RoundTimer = std::conditional_t<kWithStats, util::Timer, util::NullTimer>;
+
   const std::size_t last_window_pos = n - 1;
   for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {
     const std::size_t end = std::min(chunk + cfg_.chunk_size, last_window_pos);
     buffers.clear();
 
-    util::Timer timer;
+    RoundTimer timer;
     if (chunk < end) {
       // Vectorized main loop, then the scalar remainder of this chunk.
       const std::size_t done = run_kernel(d, chunk, end, n, buffers, stats);
@@ -130,8 +135,97 @@ void VpatchMatcher::scan_with_stats(util::ByteView data, MatchSink& sink,
   stats.matches += tee.n;
 }
 
+void VpatchMatcher::scan_batch(std::span<const util::ByteView> payloads, BatchSink& sink,
+                               ScanScratch& scratch) const {
+  BatchScanState& st = scratch.state_for<BatchScanState>(this);
+
+  // Capacity: every position of every batched payload can land in both
+  // candidate arrays; oversized payloads take the chunked per-payload path
+  // below, keeping the shared pool bounded by the batch byte count.
+  std::size_t batched_positions = 0;
+  for (const util::ByteView& p : payloads) {
+    if (p.size() <= cfg_.chunk_size) batched_positions += p.size();
+  }
+  st.buffers.ensure_capacity(batched_positions);
+  st.short_item.ensure(batched_positions + CandidateBuffers::kStoreSlack);
+  st.long_item.ensure(batched_positions + CandidateBuffers::kStoreSlack);
+  // Stage-one verification scratch, sized by the same content-INDEPENDENT
+  // bound (actual long-candidate counts vary per batch; sizing by the bound
+  // keeps the steady state allocation-free).
+  st.entry_begin.ensure(batched_positions + CandidateBuffers::kStoreSlack);
+  st.entry_end.ensure(batched_positions + CandidateBuffers::kStoreSlack);
+  st.window4.ensure(batched_positions + CandidateBuffers::kStoreSlack);
+  st.buffers.clear();
+
+  // Round one across the whole batch: candidates accumulate in the shared
+  // pool; slack stores past the logical end are overwritten by the next
+  // payload's appends (or ignored), per the pool capacity contract.  The
+  // vector ISAs run the whole batch through one kernel call (setup hoisted
+  // across payloads); oversized payloads are skipped there and scanned
+  // through the chunked per-payload path below.
+  bool batched_round_one = true;
+  switch (isa_) {
+    case Isa::avx2:
+      vpatch_filter_batch_avx2(payloads, bank_, st.buffers, st.short_item.data(),
+                               st.long_item.data(), cfg_.chunk_size, cfg_.kernel);
+      break;
+    case Isa::avx512:
+      vpatch_filter_batch_avx512(payloads, bank_, st.buffers, st.short_item.data(),
+                                 st.long_item.data(), cfg_.chunk_size, cfg_.kernel);
+      break;
+    default:
+      batched_round_one = false;
+      break;
+  }
+
+  for (std::size_t p = 0; p < payloads.size(); ++p) {
+    const util::ByteView data = payloads[p];
+    const std::size_t n = data.size();
+    if (n == 0) continue;
+    if (n > cfg_.chunk_size) {
+      PacketSinkAdapter adapter;
+      adapter.out = &sink;
+      adapter.packet = static_cast<std::uint32_t>(p);
+      scan(data, adapter);
+      continue;
+    }
+    if (batched_round_one) continue;  // the batch kernel already filtered it
+    const std::uint32_t short_begin = st.buffers.n_short;
+    const std::uint32_t long_begin = st.buffers.n_long;
+    const std::uint8_t* d = data.data();
+    const std::size_t end = n - 1;
+    if (0 < end) spatch_filter_scalar(d, 0, end, n, bank_, st.buffers);
+    spatch_filter_tail(d, n, bank_, st.buffers);
+    for (std::uint32_t k = short_begin; k < st.buffers.n_short; ++k) {
+      st.short_item[k] = static_cast<std::uint32_t>(p);
+    }
+    for (std::uint32_t k = long_begin; k < st.buffers.n_long; ++k) {
+      st.long_item[k] = static_cast<std::uint32_t>(p);
+    }
+  }
+
+  // Round two, deferred: one verification pass over the whole pool.  The
+  // long pass software-prefetches bucket headers and entry rows ahead.
+  const auto emit = [&sink](std::uint32_t packet, const Match& m) {
+    sink.on_match(packet, m);
+  };
+  verifier_.short_table().verify_flat(payloads, st.buffers.short_pos.data(),
+                                      st.short_item.data(), st.buffers.n_short, emit);
+  verifier_.long_table().verify_flat(payloads, st.buffers.long_pos.data(),
+                                     st.long_item.data(), st.buffers.n_long,
+                                     st.entry_begin.data(), st.entry_end.data(),
+                                     st.window4.data(), emit);
+}
+
 VpatchMatcher::FilterOnlyResult VpatchMatcher::filter_only(util::ByteView data,
                                                            bool with_stores) const {
+  ScanScratch scratch;
+  return filter_only(data, with_stores, scratch);
+}
+
+VpatchMatcher::FilterOnlyResult VpatchMatcher::filter_only(util::ByteView data,
+                                                           bool with_stores,
+                                                           ScanScratch& scratch) const {
   FilterOnlyResult result;
   const std::size_t n = data.size();
   if (n == 0) return result;
@@ -165,7 +259,7 @@ VpatchMatcher::FilterOnlyResult VpatchMatcher::filter_only(util::ByteView data,
     return result;
   }
 
-  CandidateBuffers buffers;
+  CandidateBuffers& buffers = scratch.state_for<BatchScanState>(this).buffers;
   buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
   const std::size_t last_window_pos = n - 1;
   for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {

@@ -5,6 +5,25 @@
 // verification over the stored candidate positions.  The kernel choice, the
 // unroll factor, filter merging and speculative-Filter-3 evaluation are all
 // configurable so the ablation benches can isolate each design decision.
+//
+// Batch fast path (scan_batch) and the deferred-verification contract:
+// round one runs across ALL payloads of a batch, appending candidates to one
+// shared, caller-owned candidate pool segmented per payload (each candidate
+// carries its payload index; positions stay payload-relative).  Verification
+// is then DEFERRED into a single round over the whole pool, software-
+// prefetching the compact-table bucket of candidate i+K while candidate i is
+// compared (kVerifyPrefetchDistance).  Consequences callers rely on:
+//   * per-payload match multisets equal scan(), but matches of one payload
+//     arrive in two bursts (short pass, then long pass) interleaved with
+//     other payloads' matches — consumers must not assume payload-contiguous
+//     emission;
+//   * candidate slack stores (a full vector per left-pack) land in the pool
+//     region the NEXT payload's round one immediately overwrites, which is
+//     why the pool needs total-batch-positions + kStoreSlack capacity, not
+//     per-payload slack;
+//   * payload views must stay valid until scan_batch returns (verification
+//     re-reads payload bytes), and payloads longer than cfg.chunk_size take
+//     the chunked per-payload scan() path so the pool stays bounded.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +61,10 @@ class VpatchMatcher final : public Matcher {
   explicit VpatchMatcher(const pattern::PatternSet& set, VpatchConfig cfg = {});
 
   void scan(util::ByteView data, MatchSink& sink) const override;
+  // The batch fast path: one filtering round over every payload, one
+  // deferred prefetch-pipelined verification round (see the header comment).
+  void scan_batch(std::span<const util::ByteView> payloads, BatchSink& sink,
+                  ScanScratch& scratch) const override;
   std::string_view name() const override;
   std::size_t memory_bytes() const override {
     return bank_.memory_bytes() + verifier_.memory_bytes();
@@ -51,11 +74,15 @@ class VpatchMatcher final : public Matcher {
 
   // Round one in isolation (Fig. 6): with_stores=true exercises the real
   // kernel including candidate stores; false uses the no-store variant.
+  // The scratch overload reuses caller-owned candidate buffers so repeated
+  // calls (the Fig. 6 measurement loop) allocate nothing.
   struct FilterOnlyResult {
     std::uint64_t short_candidates = 0;
     std::uint64_t long_candidates = 0;
   };
   FilterOnlyResult filter_only(util::ByteView data, bool with_stores) const;
+  FilterOnlyResult filter_only(util::ByteView data, bool with_stores,
+                               ScanScratch& scratch) const;
 
   Isa isa() const { return isa_; }
   unsigned vector_width() const;

@@ -5,6 +5,7 @@
 
 #include <bit>
 
+#include "core/spatch.hpp"
 #include "simd/avx2_ops.hpp"
 
 namespace vpm::core {
@@ -89,13 +90,25 @@ struct CountOnly {
   }
 };
 
+// Hoisted kernel constants, built once per scan call — or once per BATCH in
+// the batch entry point, which is the point of batching small payloads.
+struct KernelConsts {
+  __m256i shuffle2;
+  __m256i shuffle4;
+  unsigned f3_bits;
+  explicit KernelConsts(const FilterBank& bank)
+      : shuffle2(window_shuffle_mask(2)),
+        shuffle4(window_shuffle_mask(4)),
+        f3_bits(bank.f3_bits_log2()) {}
+};
+
 template <bool kMerged, bool kSpecF3, typename Store>
 std::size_t run_filter(const std::uint8_t* d, std::size_t begin, std::size_t end,
                        std::size_t total_len, const FilterBank& bank, bool unroll2,
-                       Store& store, ScanStats* stats) {
-  const __m256i shuffle2 = window_shuffle_mask(2);
-  const __m256i shuffle4 = window_shuffle_mask(4);
-  const unsigned f3_bits = bank.f3_bits_log2();
+                       Store& store, ScanStats* stats, const KernelConsts& c) {
+  const __m256i shuffle2 = c.shuffle2;
+  const __m256i shuffle4 = c.shuffle4;
+  const unsigned f3_bits = c.f3_bits;
 
   std::uint64_t f3_blocks = 0;
   std::uint64_t f3_lanes = 0;
@@ -135,6 +148,35 @@ std::size_t run_filter(const std::uint8_t* d, std::size_t begin, std::size_t end
   return i;
 }
 
+// One whole-batch pass: constants live in registers across payloads; each
+// payload's scalar remainder and tail probe run inline so the pool and item
+// maps fill exactly as scan() would per payload.
+template <bool kMerged, bool kSpecF3>
+void run_filter_batch(std::span<const util::ByteView> payloads, const FilterBank& bank,
+                      bool unroll2, CandidateBuffers& out, std::uint32_t* short_item,
+                      std::uint32_t* long_item, std::size_t max_payload) {
+  const KernelConsts c(bank);
+  StoreToBuffers store{&out};
+  for (std::size_t p = 0; p < payloads.size(); ++p) {
+    const util::ByteView data = payloads[p];
+    const std::size_t n = data.size();
+    if (n == 0 || n > max_payload) continue;
+    const std::uint8_t* d = data.data();
+    const std::uint32_t short_begin = out.n_short;
+    const std::uint32_t long_begin = out.n_long;
+    const std::size_t end = n - 1;
+    if (0 < end) {
+      const std::size_t done =
+          run_filter<kMerged, kSpecF3>(d, 0, end, n, bank, unroll2, store, nullptr, c);
+      if (done < end) spatch_filter_scalar(d, done, end, n, bank, out);
+    }
+    spatch_filter_tail(d, n, bank, out);
+    const std::uint32_t packet = static_cast<std::uint32_t>(p);
+    for (std::uint32_t k = short_begin; k < out.n_short; ++k) short_item[k] = packet;
+    for (std::uint32_t k = long_begin; k < out.n_long; ++k) long_item[k] = packet;
+  }
+}
+
 }  // namespace
 
 std::size_t vpatch_filter_avx2(const std::uint8_t* data, std::size_t begin, std::size_t end,
@@ -142,22 +184,46 @@ std::size_t vpatch_filter_avx2(const std::uint8_t* data, std::size_t begin, std:
                                CandidateBuffers& out, const KernelOptions& opt,
                                ScanStats* stats) {
   StoreToBuffers store{&out};
+  const KernelConsts c(bank);
   if (opt.merged_filters) {
     if (opt.speculative_f3)
-      return run_filter<true, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
-    return run_filter<true, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+      return run_filter<true, true>(data, begin, end, total_len, bank, opt.unroll2, store,
+                                    stats, c);
+    return run_filter<true, false>(data, begin, end, total_len, bank, opt.unroll2, store,
+                                   stats, c);
   }
   if (opt.speculative_f3)
-    return run_filter<false, true>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
-  return run_filter<false, false>(data, begin, end, total_len, bank, opt.unroll2, store, stats);
+    return run_filter<false, true>(data, begin, end, total_len, bank, opt.unroll2, store,
+                                   stats, c);
+  return run_filter<false, false>(data, begin, end, total_len, bank, opt.unroll2, store,
+                                  stats, c);
+}
+
+void vpatch_filter_batch_avx2(std::span<const util::ByteView> payloads,
+                              const FilterBank& bank, CandidateBuffers& out,
+                              std::uint32_t* short_item, std::uint32_t* long_item,
+                              std::size_t max_payload, const KernelOptions& opt) {
+  if (opt.merged_filters) {
+    if (opt.speculative_f3)
+      return run_filter_batch<true, true>(payloads, bank, opt.unroll2, out, short_item,
+                                          long_item, max_payload);
+    return run_filter_batch<true, false>(payloads, bank, opt.unroll2, out, short_item,
+                                         long_item, max_payload);
+  }
+  if (opt.speculative_f3)
+    return run_filter_batch<false, true>(payloads, bank, opt.unroll2, out, short_item,
+                                         long_item, max_payload);
+  return run_filter_batch<false, false>(payloads, bank, opt.unroll2, out, short_item,
+                                        long_item, max_payload);
 }
 
 std::size_t vpatch_filter_nostore_avx2(const std::uint8_t* data, std::size_t begin,
                                        std::size_t end, std::size_t total_len,
                                        const FilterBank& bank, NoStoreCounts& counts) {
   CountOnly store;
-  const std::size_t next =
-      run_filter<true, true>(data, begin, end, total_len, bank, /*unroll2=*/true, store, nullptr);
+  const KernelConsts c(bank);
+  const std::size_t next = run_filter<true, true>(data, begin, end, total_len, bank,
+                                                  /*unroll2=*/true, store, nullptr, c);
   counts.short_hits += store.shorts;
   counts.long_hits += store.longs;
   return next;
@@ -173,6 +239,11 @@ namespace vpm::core {
 std::size_t vpatch_filter_avx2(const std::uint8_t*, std::size_t, std::size_t, std::size_t,
                                const FilterBank&, CandidateBuffers&, const KernelOptions&,
                                ScanStats*) {
+  std::abort();
+}
+void vpatch_filter_batch_avx2(std::span<const util::ByteView>, const FilterBank&,
+                              CandidateBuffers&, std::uint32_t*, std::uint32_t*,
+                              std::size_t, const KernelOptions&) {
   std::abort();
 }
 std::size_t vpatch_filter_nostore_avx2(const std::uint8_t*, std::size_t, std::size_t,

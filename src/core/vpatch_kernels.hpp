@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/candidates.hpp"
 #include "core/filter_bank.hpp"
@@ -39,6 +40,25 @@ std::size_t vpatch_filter_avx512(const std::uint8_t* data, std::size_t begin, st
                                  std::size_t total_len, const FilterBank& bank,
                                  CandidateBuffers& out, const KernelOptions& opt,
                                  ScanStats* stats);
+
+// Whole-batch round one (the scan_batch fast path): filters every payload
+// with size() <= max_payload into the shared candidate pool, appending each
+// candidate's payload index to short_item / long_item in step (slack
+// contract as above, caller provides pool-sized item arrays).  Kernel
+// constants (shuffle masks, filter pointers, F3 hash bits) are hoisted
+// across the batch, so the per-call setup a small-packet scan() pays per
+// payload is paid once per batch.  Each payload's vector remainder runs
+// through the scalar filter and the zero-padded tail probe, exactly as
+// scan() does; empty and oversized payloads are skipped (the caller scans
+// oversized ones through the chunked per-payload path).
+void vpatch_filter_batch_avx2(std::span<const util::ByteView> payloads,
+                              const FilterBank& bank, CandidateBuffers& out,
+                              std::uint32_t* short_item, std::uint32_t* long_item,
+                              std::size_t max_payload, const KernelOptions& opt);
+void vpatch_filter_batch_avx512(std::span<const util::ByteView> payloads,
+                                const FilterBank& bank, CandidateBuffers& out,
+                                std::uint32_t* short_item, std::uint32_t* long_item,
+                                std::size_t max_payload, const KernelOptions& opt);
 
 // Filtering with the candidate stores suppressed — the "V-PATCH-filtering"
 // series of Fig. 6 (counts survive; the position writes do not happen).

@@ -39,19 +39,6 @@ ShortTable::ShortTable(const pattern::PatternSet& set) {
   for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
 }
 
-void ShortTable::verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
-  if (pos >= data.size()) return;
-  const std::uint8_t first = data[pos];
-  const std::size_t remaining = data.size() - pos;
-  for (std::uint32_t e = offsets_[first]; e < offsets_[first + 1]; ++e) {
-    const Entry& entry = entries_[e];
-    if (entry.len > remaining) continue;
-    if (util::bytes_equal(data.data() + pos, entry.bytes, entry.len, entry.nocase)) {
-      sink.on_match({entry.id, pos});
-    }
-  }
-}
-
 std::size_t ShortTable::memory_bytes() const {
   return entries_.size() * sizeof(Entry) + offsets_.size() * sizeof(std::uint32_t);
 }
@@ -83,23 +70,6 @@ LongTable::LongTable(const pattern::PatternSet& set, unsigned bucket_bits_log2)
     entries_.push_back(k.entry);
   }
   for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
-}
-
-void LongTable::verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
-  if (pos + 4 > data.size()) return;  // no long pattern can fit
-  const std::uint32_t window = util::load_u32(data.data() + pos);
-  const std::uint32_t bucket = util::multiplicative_hash(window, bucket_bits_log2_);
-  const std::size_t remaining = data.size() - pos;
-  for (std::uint32_t e = offsets_[bucket]; e < offsets_[bucket + 1]; ++e) {
-    const Entry& entry = entries_[e];
-    if (entry.prefix != window || entry.len > remaining) continue;
-    // Prefix (4 bytes) already matched exactly; compare the remainder with
-    // the entry's case mode.
-    if (util::bytes_equal(data.data() + pos + 4, arena_.at(entry.offset) + 4, entry.len - 4,
-                          entry.nocase)) {
-      sink.on_match({entry.id, pos});
-    }
-  }
 }
 
 double LongTable::mean_bucket_entries() const {

@@ -16,13 +16,16 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "match/matcher.hpp"
 #include "pattern/pattern_set.hpp"
 #include "util/arena.hpp"
+#include "util/hash.hpp"
 
 namespace vpm::dfc {
+
 
 class ShortTable {
  public:
@@ -31,7 +34,21 @@ class ShortTable {
   explicit ShortTable(const pattern::PatternSet& set);
 
   // Reports every short pattern matching at data[pos..].
-  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const;
+  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
+    verify_one(data, pos, [&](const Match& m) { sink.on_match(m); });
+  }
+
+  // Batched variant: candidate k is positions[k] within payloads[item[k]].
+  // Emit is invoked as emit(item[k], Match).  The 1 KB offset array and the
+  // handful of short entries are always cache-hot, so no prefetch pipeline.
+  template <class Emit>
+  void verify_flat(std::span<const util::ByteView> payloads, const std::uint32_t* positions,
+                   const std::uint32_t* item, std::uint32_t n, Emit&& emit) const {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      verify_one(payloads[item[k]], positions[k],
+                 [&](const Match& m) { emit(item[k], m); });
+    }
+  }
 
   std::size_t entry_count() const { return entries_.size(); }
   std::size_t pattern_count() const { return pattern_count_; }
@@ -44,6 +61,21 @@ class ShortTable {
     std::uint32_t id = 0;
     bool nocase = false;
   };
+
+  template <class Emit>
+  void verify_one(util::ByteView data, std::size_t pos, Emit&& emit) const {
+    if (pos >= data.size()) return;
+    const std::uint8_t first = data[pos];
+    const std::size_t remaining = data.size() - pos;
+    for (std::uint32_t e = offsets_[first]; e < offsets_[first + 1]; ++e) {
+      const Entry& entry = entries_[e];
+      if (entry.len > remaining) continue;
+      if (util::bytes_equal(data.data() + pos, entry.bytes, entry.len, entry.nocase)) {
+        emit(Match{entry.id, pos});
+      }
+    }
+  }
+
   std::vector<Entry> entries_;           // grouped by first byte (raw; nocase
                                          // patterns appear under both cases)
   std::vector<std::uint32_t> offsets_;   // 257 CSR offsets
@@ -57,7 +89,82 @@ class LongTable {
   // occupancy around one entry for 20 K patterns.
   explicit LongTable(const pattern::PatternSet& set, unsigned bucket_bits_log2 = 15);
 
-  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const;
+  void verify_at(util::ByteView data, std::size_t pos, MatchSink& sink) const {
+    if (pos + 4 > data.size()) return;  // no long pattern can fit
+    const std::uint32_t window = util::load_u32(data.data() + pos);
+    const std::uint32_t bucket = util::multiplicative_hash(window, bucket_bits_log2_);
+    verify_entries(data, pos, window, offsets_[bucket], offsets_[bucket + 1],
+                   [&](const Match& m) { sink.on_match(m); });
+  }
+
+  // Batched deferred verification (round two of the batch fast path), by
+  // GROUP PREFETCHING: instead of one loop with a dependent three-level
+  // pointer chase per candidate (bucket header -> entry row -> arena bytes),
+  // the pool is walked in four short passes, each issuing the next level's
+  // prefetch for EVERY candidate before any candidate needs it — so each
+  // level's misses overlap across the whole pool rather than serializing:
+  //   A: hash the (cache-hot, just-filtered) payload windows, prefetch the
+  //      bucket headers;
+  //   B: read the headers into CSR ranges, prefetch the entry rows (two
+  //      lines: Entry is 17 B, buckets regularly straddle a line);
+  //   C: read each row's first entry, prefetch its arena bytes;
+  //   D: compare and emit.
+  // The pass scratch (entry_begin/entry_end/window4, capacity >= n) stays
+  // L1/L2-resident, so the re-walks are cheap.
+  //
+  // Equivalent to calling verify_at per candidate: candidate k is
+  // positions[k] within payloads[item[k]]; emit(item[k], Match).
+  template <class Emit>
+  void verify_flat(std::span<const util::ByteView> payloads, const std::uint32_t* positions,
+                   const std::uint32_t* item, std::uint32_t n, std::uint32_t* entry_begin,
+                   std::uint32_t* entry_end, std::uint32_t* window4, Emit&& emit) const {
+    // Pass A: window hashes; bucket ids park in entry_end until pass B.
+    for (std::uint32_t k = 0; k < n; ++k) {
+      const util::ByteView d = payloads[item[k]];
+      const std::size_t pos = positions[k];
+      if (pos + 4 > d.size()) {  // no long pattern can fit: empty range
+        entry_begin[k] = 1;      // begin > end marks "skip" until pass B
+        entry_end[k] = 0;
+        continue;
+      }
+      const std::uint32_t w = util::load_u32(d.data() + pos);
+      const std::uint32_t b = util::multiplicative_hash(w, bucket_bits_log2_);
+      window4[k] = w;
+      entry_begin[k] = 0;
+      entry_end[k] = b;
+      __builtin_prefetch(offsets_.data() + b);
+    }
+    // Pass B: CSR ranges; prefetch entry rows of non-empty buckets.
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (entry_begin[k] > entry_end[k]) {
+        entry_begin[k] = entry_end[k] = 0;
+        continue;
+      }
+      const std::uint32_t b = entry_end[k];
+      const std::uint32_t begin = offsets_[b];
+      const std::uint32_t end = offsets_[b + 1];
+      entry_begin[k] = begin;
+      entry_end[k] = end;
+      if (begin != end) {
+        const char* row = reinterpret_cast<const char*>(entries_.data() + begin);
+        __builtin_prefetch(row);
+        __builtin_prefetch(row + 64);
+      }
+    }
+    // Pass C: arena bytes of each row's first entry (later entries of a
+    // multi-entry bucket share the row and usually the arena region).
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (entry_begin[k] != entry_end[k]) {
+        __builtin_prefetch(arena_.at(entries_[entry_begin[k]].offset));
+      }
+    }
+    // Pass D: compares.
+    for (std::uint32_t k = 0; k < n; ++k) {
+      if (entry_begin[k] == entry_end[k]) continue;
+      verify_entries(payloads[item[k]], positions[k], window4[k], entry_begin[k],
+                     entry_end[k], [&](const Match& m) { emit(item[k], m); });
+    }
+  }
 
   std::size_t entry_count() const { return entries_.size(); }
   std::size_t pattern_count() const { return pattern_count_; }
@@ -73,6 +180,23 @@ class LongTable {
     std::uint32_t offset = 0;  // pattern bytes in the arena (raw)
     bool nocase = false;
   };
+
+  template <class Emit>
+  void verify_entries(util::ByteView data, std::size_t pos, std::uint32_t window,
+                      std::uint32_t begin, std::uint32_t end, Emit&& emit) const {
+    const std::size_t remaining = data.size() - pos;
+    for (std::uint32_t e = begin; e < end; ++e) {
+      const Entry& entry = entries_[e];
+      if (entry.prefix != window || entry.len > remaining) continue;
+      // Prefix (4 bytes) already matched exactly; compare the remainder with
+      // the entry's case mode.
+      if (util::bytes_equal(data.data() + pos + 4, arena_.at(entry.offset) + 4,
+                            entry.len - 4, entry.nocase)) {
+        emit(Match{entry.id, pos});
+      }
+    }
+  }
+
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> offsets_;  // 2^bits + 1 CSR offsets
   util::ByteArena arena_;

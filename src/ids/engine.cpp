@@ -1,12 +1,26 @@
 #include "ids/engine.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 namespace vpm::ids {
+
+namespace {
+// RAII for IdsEngine::in_scan_: a throwing AlertSink must not leave the
+// engine wedged with the guard stuck set.
+struct ScanGuard {
+  bool* flag;
+  explicit ScanGuard(bool* f) : flag(f) { *flag = true; }
+  ~ScanGuard() { *flag = false; }
+  ScanGuard(const ScanGuard&) = delete;
+  ScanGuard& operator=(const ScanGuard&) = delete;
+};
+}  // namespace
 
 IdsEngine::IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg)
     : rules_(rules, cfg.algorithm) {}
 
-void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
-                        AlertSink& out) {
+IdsEngine::FlowState& IdsEngine::flow_for(std::uint64_t flow_id, pattern::Group protocol) {
   auto it = flows_.find(flow_id);
   if (it == flows_.end()) {
     it = flows_
@@ -17,7 +31,21 @@ void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::By
              .first;
     ++counters_.flows;
   }
-  FlowState& flow = it->second;
+  return it->second;
+}
+
+void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+                        AlertSink& out) {
+  assert(!in_scan_ && "inspect() called from an AlertSink mid-scan");
+  FlowState* flow = &flow_for(flow_id, protocol);
+  // feed() must not run while a chunk is staged: prepare() would discard the
+  // staged bytes and leave the pending view dangling.  Scan pending first —
+  // and re-acquire the flow afterwards: the flush's deferred close_flow
+  // calls (teardown-on-alert sinks) may have erased this very flow.
+  if (flow->scanner.staged()) {
+    flush_batch(out);
+    flow = &flow_for(flow_id, protocol);
+  }
 
   struct MatchToAlert final : MatchSink {
     AlertSink* out = nullptr;
@@ -34,14 +62,131 @@ void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::By
   sink.out = &out;
   sink.rules = &rules_;
   sink.flow_id = flow_id;
-  sink.protocol = flow.protocol;
+  sink.protocol = flow->protocol;
 
-  flow.scanner.feed(chunk, sink);
+  // Guard the live scanner: an AlertSink closing this flow from on_alert
+  // must not destroy the scanner mid-feed (the close defers).
+  {
+    ScanGuard guard(&in_scan_);
+    flow->scanner.feed(chunk, sink);
+  }
   counters_.bytes_inspected += chunk.size();
   ++counters_.chunks;
   counters_.alerts += sink.emitted;
+  run_deferred_closes();
 }
 
-void IdsEngine::close_flow(std::uint64_t flow_id) { flows_.erase(flow_id); }
+void IdsEngine::stage(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+                      AlertSink& sink) {
+  assert(!in_scan_ && "stage() called from an AlertSink mid-scan");
+  FlowState* flow = &flow_for(flow_id, protocol);
+  // A flow can be staged once per flush: a second chunk for the same flow
+  // must see the first one's carry, so scan what is pending first — and
+  // re-acquire the flow afterwards: the flush's deferred close_flow calls
+  // (teardown-on-alert sinks) may have erased this very flow.
+  if (flow->scanner.staged()) {
+    flush_batch(sink);
+    flow = &flow_for(flow_id, protocol);
+  }
+
+  Staged s;
+  s.flow = flow;
+  s.flow_id = flow_id;
+  s.protocol = flow->protocol;
+  s.view = flow->scanner.prepare(chunk);
+  s.carry = flow->scanner.staged_carry();
+  s.base = flow->scanner.staged_base();
+  pending_.push_back(s);
+  // bytes_inspected/chunks count at flush time, when the scan actually
+  // happens — a staged chunk dropped by close_flow was never inspected.
+}
+
+void IdsEngine::flush_batch(AlertSink& out) {
+  assert(!in_scan_ && "flush_batch() called from an AlertSink mid-scan");
+  if (pending_.empty() || in_scan_) return;
+  {
+    // Exception-safe: a throwing sink cannot leave in_scan_ wedged.
+    ScanGuard guard(&in_scan_);
+    flush_batch_impl(out);
+  }
+  run_deferred_closes();
+}
+
+void IdsEngine::flush_batch_impl(AlertSink& out) {
+  for (std::uint32_t i = 0; i < pending_.size(); ++i) {
+    GroupGather& g = gather_[static_cast<std::size_t>(pending_[i].protocol)];
+    g.views.push_back(pending_[i].view);
+    g.staged_index.push_back(i);
+  }
+
+  for (std::size_t gi = 0; gi < kGroups; ++gi) {
+    GroupGather& g = gather_[gi];
+    if (g.views.empty()) continue;
+    const pattern::Group group = static_cast<pattern::Group>(gi);
+
+    struct BatchToAlert final : BatchSink {
+      const IdsEngine* self = nullptr;
+      AlertSink* out = nullptr;
+      const GroupGather* gather = nullptr;
+      pattern::Group group{};
+      std::uint64_t emitted = 0;
+      void on_match(std::uint32_t packet, const Match& m) override {
+        const Staged& s = self->pending_[gather->staged_index[packet]];
+        if (s.flow->scanner.already_reported(m, s.carry)) return;
+        out->on_alert(Alert{s.flow_id, self->rules_.master_id(group, m.pattern_id),
+                            s.base + m.pos, group});
+        ++emitted;
+      }
+    } sink;
+    sink.self = this;
+    sink.out = &out;
+    sink.gather = &g;
+    sink.group = group;
+
+    rules_.matcher_for(group).scan_batch(g.views, sink, scratch_[gi]);
+    counters_.alerts += sink.emitted;
+    g.views.clear();
+    g.staged_index.clear();
+  }
+
+  for (Staged& s : pending_) {
+    s.flow->scanner.commit();
+    counters_.bytes_inspected += s.view.size() - s.carry;  // the chunk's bytes
+    ++counters_.chunks;
+  }
+  pending_.clear();
+}
+
+// close_flow calls made by a sink during a live scan were deferred so the
+// scanner / in-flight batch stayed valid; apply them once the scan is done.
+// Routed through close_flow itself (in_scan_ is clear now) so a closed flow
+// that STILL has staged state — possible after inspect(), which flushes only
+// its own flow — gets the full staged-drop teardown.
+void IdsEngine::run_deferred_closes() {
+  while (!deferred_close_.empty()) {
+    const std::uint64_t flow_id = deferred_close_.back();
+    deferred_close_.pop_back();
+    close_flow(flow_id);
+  }
+}
+
+void IdsEngine::close_flow(std::uint64_t flow_id) {
+  if (in_scan_) {
+    // Called from an AlertSink while its scanner/batch is live (teardown-
+    // on-alert): defer the erase — pending_ holds live pointers into the
+    // flow table's nodes, and inspect()'s scanner must outlive its feed.
+    deferred_close_.push_back(flow_id);
+    return;
+  }
+  auto it = flows_.find(flow_id);
+  if (it == flows_.end()) return;
+  if (it->second.scanner.staged()) {
+    // Dropping a staged chunk unscanned: eviction-time teardown is lossy by
+    // design, and a dangling Staged entry must never survive the erase.
+    FlowState* flow = &it->second;
+    std::erase_if(pending_, [flow](const Staged& s) { return s.flow == flow; });
+  }
+  flows_.erase(it);
+}
 
 }  // namespace vpm::ids

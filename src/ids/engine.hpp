@@ -3,6 +3,7 @@
 // examples and integration tests drive it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -40,7 +41,30 @@ class IdsEngine {
     inspect(flow_id, protocol, chunk, buffer);
   }
 
-  // Forgets a flow's stream state (connection close / idle eviction).
+  // Batched inspection fast path (the pipeline worker's per-PacketBatch
+  // loop).  stage() copies `chunk` into the flow's stream buffer and defers
+  // the scan; flush_batch() runs ONE Matcher::scan_batch per protocol group
+  // over every staged chunk, reusing per-group engine-owned scratch — zero
+  // steady-state heap allocations, and each group's filter structures stay
+  // cache-resident across the whole batch.  Alert multiset per chunk is
+  // identical to inspect(); alert ORDER within a batch is engine-specific.
+  // If `flow_id` already has a staged chunk, stage() flushes first so
+  // per-flow stream order is preserved (hence the sink parameter).  `chunk`
+  // need only stay valid for the stage() call itself.
+  //
+  // Sink reentrancy: an AlertSink::on_alert callback may call close_flow()
+  // (teardown-on-alert; deferred until the live scan — flush_batch or
+  // inspect's feed — completes) but must NOT call stage()/inspect()/
+  // flush_batch() on this engine: the batch being scanned cannot be
+  // mutated mid-flush.
+  void stage(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
+             AlertSink& sink);
+  void flush_batch(AlertSink& sink);
+  std::size_t staged_chunks() const { return pending_.size(); }
+
+  // Forgets a flow's stream state (connection close / idle eviction).  A
+  // still-staged chunk of that flow is dropped unscanned (eviction is lossy
+  // by design); flush_batch() first if those alerts matter.
   void close_flow(std::uint64_t flow_id);
 
   // Flows currently holding stream-scanner state (carry buffers).
@@ -55,9 +79,42 @@ class IdsEngine {
     StreamScanner scanner;
   };
 
+  // One staged chunk awaiting flush_batch().  `view` points into the flow
+  // scanner's stream buffer (stable until commit); `flow` stays valid across
+  // rehash (unordered_map nodes do not move).
+  struct Staged {
+    FlowState* flow = nullptr;
+    std::uint64_t flow_id = 0;
+    pattern::Group protocol{};
+    util::ByteView view;
+    std::size_t carry = 0;
+    std::uint64_t base = 0;
+  };
+
+  static constexpr std::size_t kGroups = static_cast<std::size_t>(pattern::Group::count);
+
+  FlowState& flow_for(std::uint64_t flow_id, pattern::Group protocol);
+
   GroupedRules rules_;
   std::unordered_map<std::uint64_t, FlowState> flows_;
   EngineCounters counters_;
+
+  // Batch machinery (all grow-to-high-water, reused across flushes).
+  struct GroupGather {
+    std::vector<util::ByteView> views;
+    std::vector<std::uint32_t> staged_index;
+  };
+  std::vector<Staged> pending_;
+  std::array<GroupGather, kGroups> gather_;
+  std::array<ScanScratch, kGroups> scratch_;
+  // Set while a scan is live (flush_batch, or inspect()'s feed): close_flow
+  // from an AlertSink defers while set, so the scanner/batch being driven is
+  // never destroyed under its own callback.
+  bool in_scan_ = false;
+  std::vector<std::uint64_t> deferred_close_;
+
+  void flush_batch_impl(AlertSink& out);  // body of flush_batch, under guard
+  void run_deferred_closes();
 };
 
 }  // namespace vpm::ids

@@ -10,47 +10,57 @@ StreamScanner::StreamScanner(const Matcher& matcher, std::size_t max_pattern_len
       carry_capacity_(max_pattern_len > 0 ? max_pattern_len - 1 : 0),
       lengths_(std::move(pattern_lengths)) {}
 
-void StreamScanner::feed(util::ByteView chunk, MatchSink& sink) {
-  // Assemble carry + chunk.
+util::ByteView StreamScanner::prepare(util::ByteView chunk) {
+  // Assemble carry + chunk; the view stays valid until commit() (the buffer
+  // is not touched in between).
   buffer_.resize(carry_len_);
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  carry_at_stage_ = carry_len_;
+  staged_chunk_len_ = chunk.size();
+  staged_ = true;
+  return buffer_;
+}
 
-  // Offset of buffer_[0] within the absolute stream.
-  const std::uint64_t base = consumed_ - carry_len_;
-  const std::size_t carry = carry_len_;
-
-  struct DedupSink final : MatchSink {
-    MatchSink* inner = nullptr;
-    const std::vector<std::uint32_t>* lengths = nullptr;
-    std::uint64_t base = 0;
-    std::size_t carry = 0;
-    void on_match(const Match& m) override {
-      // Matches ending within the carry were found by the previous feed.
-      const std::uint32_t len = (*lengths)[m.pattern_id];
-      if (m.pos + len <= carry) return;
-      inner->on_match({m.pattern_id, base + m.pos});
-    }
-  } dedup;
-  dedup.inner = &sink;
-  dedup.lengths = &lengths_;
-  dedup.base = base;
-  dedup.carry = carry;
-
-  matcher_->scan(buffer_, dedup);
-  consumed_ += chunk.size();
-
+void StreamScanner::commit() {
+  consumed_ += staged_chunk_len_;
   // Retain the tail as the next carry.
   carry_len_ = std::min(carry_capacity_, buffer_.size());
   if (carry_len_ > 0) {
     std::copy(buffer_.end() - static_cast<long>(carry_len_), buffer_.end(), buffer_.begin());
   }
   buffer_.resize(carry_len_);
+  staged_ = false;
+}
+
+void StreamScanner::feed(util::ByteView chunk, MatchSink& sink) {
+  const util::ByteView view = prepare(chunk);
+
+  struct DedupSink final : MatchSink {
+    MatchSink* inner = nullptr;
+    const StreamScanner* scanner = nullptr;
+    std::uint64_t base = 0;
+    std::size_t carry = 0;
+    void on_match(const Match& m) override {
+      if (scanner->already_reported(m, carry)) return;
+      inner->on_match({m.pattern_id, base + m.pos});
+    }
+  } dedup;
+  dedup.inner = &sink;
+  dedup.scanner = this;
+  dedup.base = staged_base();
+  dedup.carry = staged_carry();
+
+  matcher_->scan(view, dedup);
+  commit();
 }
 
 void StreamScanner::reset() {
   buffer_.clear();
   carry_len_ = 0;
   consumed_ = 0;
+  carry_at_stage_ = 0;
+  staged_chunk_len_ = 0;
+  staged_ = false;
 }
 
 }  // namespace vpm::ids

@@ -24,6 +24,26 @@ class StreamScanner {
   // Scans the next chunk; emits matches (absolute stream offsets) to sink.
   void feed(util::ByteView chunk, MatchSink& sink);
 
+  // Staged (batched) protocol, the deferred flavor of feed(): prepare()
+  // assembles carry+chunk into the flow buffer and returns the view to scan
+  // (stable until commit()); the caller scans it — typically many flows
+  // together through Matcher::scan_batch — suppressing matches that end
+  // inside staged_carry() (already reported by the previous feed) and
+  // rebasing surviving positions by staged_base(); commit() consumes the
+  // chunk and retains the next carry.  At most one chunk may be staged at a
+  // time; feed() must not run while a chunk is staged.
+  util::ByteView prepare(util::ByteView chunk);
+  void commit();
+  bool staged() const { return staged_; }
+  std::size_t staged_carry() const { return carry_at_stage_; }
+  std::uint64_t staged_base() const { return consumed_ - carry_at_stage_; }
+
+  // The carry-dedup rule shared by feed() and the engine's batched flush: a
+  // match ending inside the carry was already reported by the previous feed.
+  bool already_reported(const Match& m, std::size_t carry) const {
+    return m.pos + lengths_[m.pattern_id] <= carry;
+  }
+
   // Total bytes consumed so far.
   std::uint64_t stream_length() const { return consumed_; }
 
@@ -36,6 +56,9 @@ class StreamScanner {
   util::Bytes buffer_;                         // carry + current chunk
   std::size_t carry_len_ = 0;
   std::uint64_t consumed_ = 0;
+  std::size_t carry_at_stage_ = 0;  // carry length captured by prepare()
+  std::size_t staged_chunk_len_ = 0;
+  bool staged_ = false;
 };
 
 }  // namespace vpm::ids

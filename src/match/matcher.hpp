@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -60,12 +61,86 @@ class CollectingSink final : public MatchSink {
   std::vector<Match> matches_;
 };
 
+// Receives matches during a batch scan; `packet` is the index into the
+// payload span passed to Matcher::scan_batch, and Match::pos is relative to
+// that payload.  Matches never span payload boundaries.
+class BatchSink {
+ public:
+  virtual void on_match(std::uint32_t packet, const Match& m) = 0;
+
+ protected:
+  ~BatchSink() = default;
+};
+
+// Adapts a per-payload scan()'s MatchSink stream into BatchSink deliveries
+// for a fixed payload index (the generic scan_batch fallback and engines'
+// oversized-payload paths).
+struct PacketSinkAdapter final : MatchSink {
+  BatchSink* out = nullptr;
+  std::uint32_t packet = 0;
+  void on_match(const Match& m) override { out->on_match(packet, m); }
+};
+
+// Caller-owned, reusable scratch for Matcher::scan_batch.
+//
+// The batch fast path amortizes per-call setup across many small payloads;
+// the remaining fixed cost is the scratch storage (candidate arrays,
+// per-packet bookkeeping), which the caller owns so steady-state scanning
+// performs zero heap allocations.  A scratch instance must not be shared
+// between threads.  It MAY be handed to different matchers over time: the
+// stored state is tagged by the matcher that built it and is re-created
+// whenever the owner changes.
+class ScanScratch {
+ public:
+  struct State {
+    virtual ~State() = default;
+  };
+
+  // Returns the stored state if it was installed by `owner` with type T,
+  // otherwise replaces the state with a default-constructed T.  The owner
+  // tag is a raw pointer: a new matcher allocated at a dead matcher's
+  // address inherits the old state, so State implementations must be pure
+  // reusable scratch whose logical content is re-established on every
+  // scan_batch call (capacity may carry over; data must not).
+  template <class T>
+  T& state_for(const void* owner) {
+    if (owner_ != owner || dynamic_cast<T*>(state_.get()) == nullptr) {
+      state_ = std::make_unique<T>();
+      owner_ = owner;
+    }
+    return static_cast<T&>(*state_);
+  }
+
+ private:
+  std::unique_ptr<State> state_;
+  const void* owner_ = nullptr;
+};
+
 class Matcher {
  public:
   virtual ~Matcher() = default;
 
   // Finds every occurrence of every pattern in `data`.
   virtual void scan(util::ByteView data, MatchSink& sink) const = 0;
+
+  // Scans each payload independently (matches never cross payloads) and
+  // reports (payload index, match) pairs.  Match multiset per payload is
+  // identical to scan(payloads[i], ...); the emission ORDER across and
+  // within payloads is engine-specific, exactly as it is for scan().
+  //
+  // The default walks payloads through scan().  Engines with a real batch
+  // fast path override it to run one filtering round over the whole batch
+  // and one deferred verification round, reusing `scratch` across calls.
+  virtual void scan_batch(std::span<const util::ByteView> payloads, BatchSink& sink,
+                          ScanScratch& scratch) const {
+    (void)scratch;
+    PacketSinkAdapter adapter;
+    adapter.out = &sink;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      adapter.packet = static_cast<std::uint32_t>(i);
+      scan(payloads[i], adapter);
+    }
+  }
 
   virtual std::string_view name() const = 0;
 

@@ -12,8 +12,12 @@ Worker::Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg)
       reassembler_(
           [this](const net::FiveTuple& tuple, std::uint64_t /*stream_offset*/,
                  util::ByteView chunk) {
-            engine_.inspect(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk,
-                            *sink_);
+            // Staged, not scanned: the chunk is copied into the flow's
+            // stream buffer now (reassembler views die with this callback)
+            // and scanned together with the rest of the batch in one
+            // scan_batch round per protocol group at flush time.
+            engine_.stage(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk,
+                          *sink_);
           },
           cfg.reassembly),
       engine_(rules, {cfg.algorithm}),
@@ -64,6 +68,10 @@ void Worker::run() {
 
 void Worker::process(PacketBatch& batch) {
   for (net::Packet& p : batch) handle_packet(p);
+  // One deferred scan round over everything the batch staged — the batch
+  // fast path that amortizes filter setup and candidate storage across all
+  // of the batch's small payloads.
+  engine_.flush_batch(*sink_);
   published_.batches.fetch_add(1, std::memory_order_relaxed);
   publish_stats();
 }
@@ -80,13 +88,16 @@ void Worker::handle_packet(net::Packet& packet) {
     // pattern split across datagrams of one flow is found.
     const std::uint64_t key = flow_key(packet.tuple);
     udp_last_seen_[key] = virtual_now_us_;
-    engine_.inspect(key, ids::classify_port(packet.tuple.dst_port), packet.payload,
-                    *sink_);
+    engine_.stage(key, ids::classify_port(packet.tuple.dst_port), packet.payload,
+                  *sink_);
   }
 
   if (cfg_.idle_timeout_us > 0 &&
       ++packets_since_sweep_ >= cfg_.eviction_sweep_packets) {
     packets_since_sweep_ = 0;
+    // Scan staged chunks before tearing flows down: close_flow drops a
+    // still-staged chunk unscanned.
+    engine_.flush_batch(*sink_);
     sweep_idle();
   }
 }

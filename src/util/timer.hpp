@@ -22,6 +22,12 @@ class Timer {
   clock::time_point start_;
 };
 
+// Zero-cost stand-in for Timer in templated code whose non-instrumented
+// instantiation must not pay clock reads (hot small-packet scan paths).
+struct NullTimer {
+  void reset() {}
+};
+
 // The paper reports throughput in Gbps (gigabits per second of payload).
 inline double gbps(std::size_t bytes, double seconds) {
   if (seconds <= 0.0) return 0.0;

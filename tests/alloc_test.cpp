@@ -1,0 +1,159 @@
+// Proves the batch-scan steady state is allocation-free: this binary
+// replaces global operator new/delete with counting versions, warms up the
+// matcher scratch / engine flow tables / batch machinery, then drives many
+// more rounds under churny batch- and chunk-size variation and asserts the
+// allocation counter does not move.  This is the zero-alloc contract the
+// pipeline worker's scan loop relies on under sustained small-packet load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <new>
+#include <vector>
+
+#include "core/matcher_factory.hpp"
+#include "helpers.hpp"
+#include "ids/engine.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n != 0 ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+// Nothrow variants too (std::stable_sort's temporary buffer uses them):
+// leaving them to the default implementation would pair a foreign new with
+// our free-based delete — an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n != 0 ? n : 1);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace vpm {
+namespace {
+
+using testutil::case_seed;
+using testutil::seed_note;
+
+struct CountingBatchSink final : BatchSink {
+  std::uint64_t matches = 0;
+  void on_match(std::uint32_t, const Match&) override { ++matches; }
+};
+
+struct CountingAlertSink final : ids::AlertSink {
+  std::uint64_t alerts = 0;
+  void on_alert(const ids::Alert&) override { ++alerts; }
+};
+
+// Matcher-level: scan_batch with a reused scratch, batch size churning
+// between rounds, must not allocate after the first full-size round.
+TEST(AllocTest, MatcherBatchScanSteadyStateIsAllocationFree) {
+  for (core::Algorithm algo : {core::Algorithm::vpatch, core::Algorithm::dfc}) {
+    const auto set = testutil::random_set(300, 6, case_seed(301));
+    const auto matcher = core::make_matcher(algo, set);
+    std::vector<util::Bytes> payloads;
+    for (std::size_t i = 0; i < 32; ++i) {
+      payloads.push_back(testutil::random_text(256, case_seed(302) + i));
+    }
+    std::vector<util::ByteView> views(payloads.begin(), payloads.end());
+
+    ScanScratch scratch;
+    CountingBatchSink sink;
+    const auto drive = [&](std::size_t batch) {
+      for (std::size_t begin = 0; begin < views.size(); begin += batch) {
+        const std::size_t count = std::min(batch, views.size() - begin);
+        matcher->scan_batch({views.data() + begin, count}, sink, scratch);
+      }
+    };
+
+    // Warm-up: largest batch first (high-water scratch), then churn.
+    for (std::size_t batch : {std::size_t{32}, std::size_t{20}, std::size_t{7},
+                              std::size_t{1}}) {
+      drive(batch);
+    }
+
+    const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int round = 0; round < 20; ++round) {
+      for (std::size_t batch : {std::size_t{32}, std::size_t{7}, std::size_t{1},
+                                std::size_t{20}}) {
+        drive(batch);
+      }
+    }
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before) << core::algorithm_name(algo)
+                             << " allocated in steady state (" << seed_note() << ")";
+    EXPECT_GT(sink.matches, 0u) << "workload must produce matches to be meaningful";
+  }
+}
+
+// Engine-level: the worker scan loop body — stage() per chunk across mixed
+// protocol groups and flows, flush_batch() per round — with chunk sizes
+// churning, must not allocate once flow buffers and scratch reached their
+// high-water marks.
+TEST(AllocTest, EngineStageFlushSteadyStateIsAllocationFree) {
+  const auto rules = testutil::random_set(200, 6, case_seed(303));
+  ids::IdsEngine engine(rules, {core::Algorithm::vpatch});
+  CountingAlertSink sink;
+
+  const util::Bytes pool = testutil::random_text(1 << 16, case_seed(304));
+  const pattern::Group groups[] = {pattern::Group::http, pattern::Group::generic,
+                                   pattern::Group::dns};
+  const std::size_t sizes[] = {1500, 700, 256, 64, 1};
+
+  const auto drive = [&](int round) {
+    for (std::uint64_t flow = 0; flow < 6; ++flow) {
+      const std::size_t size = sizes[(round + flow) % std::size(sizes)];
+      const std::size_t offset = ((round * 131 + flow * 977) % (pool.size() - 1500));
+      engine.stage(flow, groups[flow % std::size(groups)],
+                   {pool.data() + offset, size}, sink);
+    }
+    engine.flush_batch(sink);
+  };
+
+  for (int round = 0; round < 10; ++round) drive(round);  // warm-up
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) drive(round);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "engine batch loop allocated in steady state ("
+                           << seed_note() << ")";
+  EXPECT_GT(sink.alerts, 0u) << "workload must produce alerts to be meaningful";
+}
+
+}  // namespace
+}  // namespace vpm
