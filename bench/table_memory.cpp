@@ -1,13 +1,18 @@
 // Memory & build-cost comparison (supports the paper's §II motivation: "as
 // the number of patterns increases, the size of the state automaton
 // increases ... and does not fit in the cache", vs the filter engines' few
-// KB of cache-resident state).  Reports search-structure footprint and build
-// time per algorithm across ruleset sizes.
+// KB of cache-resident state).  Reports search-structure footprint, build
+// time, and — for the automaton engines — bytes per state, which is where
+// the compact interleaved AC layout's compression claim is measured rather
+// than asserted: the full matrix pays 256 x 4 B per state, the compact
+// arena a few dozen bytes.
 //
 //   table_memory [--seed=N] [--quick]
 #include <cstdio>
 
+#include "ac/ac_compact.hpp"
 #include "ac/ac_full.hpp"
+#include "ac/ac_sparse.hpp"
 #include "common.hpp"
 #include "util/timer.hpp"
 
@@ -19,31 +24,52 @@ int main_impl(int argc, char** argv) {
   const auto full = s2_full_patterns(opt.seed);
 
   std::printf("=== Search-structure memory and build time vs ruleset size ===\n");
-  const std::vector<int> widths{10, 22, 14, 14, 14};
-  print_row({"patterns", "algorithm", "memory-KB", "build-ms", "states"}, widths);
+  const std::vector<int> widths{10, 22, 14, 14, 14, 10};
+  print_row({"patterns", "algorithm", "memory-KB", "build-ms", "states", "B/state"},
+            widths);
 
+  JsonReport report("table_memory", opt);
   const std::size_t counts[] = {1000, 5000, 20000};
   for (std::size_t n : counts) {
     if (opt.quick && n > 5000) break;
     const auto subset = full.random_subset(n, opt.seed + n);
     for (core::Algorithm algo :
          {core::Algorithm::aho_corasick, core::Algorithm::aho_corasick_sparse,
-          core::Algorithm::dfc, core::Algorithm::spatch, core::Algorithm::vpatch,
-          core::Algorithm::wu_manber}) {
+          core::Algorithm::aho_corasick_compact, core::Algorithm::dfc,
+          core::Algorithm::spatch, core::Algorithm::vpatch, core::Algorithm::wu_manber}) {
       if (!core::algorithm_available(algo)) continue;
       util::Timer timer;
       const MatcherPtr m = core::make_matcher(algo, subset);
       const double build_ms = timer.millis();
-      std::string states = "-";
+      std::size_t state_count = 0;
       if (const auto* ac = dynamic_cast<const ac::AcFullMatcher*>(m.get())) {
-        states = std::to_string(ac->state_count());
+        state_count = ac->state_count();
+      } else if (const auto* acc = dynamic_cast<const ac::AcCompactMatcher*>(m.get())) {
+        state_count = acc->state_count();
+      } else if (const auto* acs = dynamic_cast<const ac::AcSparseMatcher*>(m.get())) {
+        state_count = acs->state_count();
       }
+      const std::string states = state_count ? std::to_string(state_count) : "-";
+      const std::string bps =
+          state_count ? fmt(static_cast<double>(m->memory_bytes()) /
+                                static_cast<double>(state_count),
+                            1)
+                      : "-";
       print_row({std::to_string(subset.size()), std::string(m->name()),
-                 std::to_string(m->memory_bytes() >> 10), fmt(build_ms, 1), states},
+                 std::to_string(m->memory_bytes() >> 10), fmt(build_ms, 1), states, bps},
                 widths);
+      report.add({{"algorithm", std::string(core::algorithm_name(algo))}},
+                 {{"build_ms", build_ms},
+                  {"bytes_per_state",
+                   state_count ? static_cast<double>(m->memory_bytes()) /
+                                     static_cast<double>(state_count)
+                               : 0.0}},
+                 {{"patterns", subset.size()},
+                  {"memory_bytes", m->memory_bytes()},
+                  {"states", state_count}});
     }
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace

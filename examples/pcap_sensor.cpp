@@ -7,6 +7,9 @@
 //   ./pcap_sensor --batch=N ...                  packets per ring batch (with
 //                                                --workers; batches feed the
 //                                                engines' scan_batch fast path)
+//   ./pcap_sensor --algo=NAME ...                matcher engine; names come
+//                                                from available_algorithms()
+//                                                (see --help for this CPU)
 //
 // Demo mode synthesizes HTTP flows (with deliberately reordered segments and
 // planted attack payloads), writes a well-formed pcap to a temp file, then
@@ -17,8 +20,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "core/matcher_factory.hpp"
 #include "ids/pcap_pipeline.hpp"
 #include "net/flowgen.hpp"
 #include "pattern/ruleset_gen.hpp"
@@ -32,11 +37,11 @@ namespace {
 using namespace vpm;
 
 int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-                unsigned workers, std::size_t batch_packets) {
+                unsigned workers, std::size_t batch_packets, core::Algorithm algo) {
   auto parsed = net::read_pcap(pcap_bytes);
 
   pipeline::PipelineConfig cfg;
-  cfg.algorithm = core::Algorithm::vpatch;
+  cfg.algorithm = algo;
   cfg.workers = workers;
   if (batch_packets > 0) cfg.batch_packets = batch_packets;
   pipeline::PipelineRuntime rt(rules, cfg);
@@ -72,9 +77,10 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   return 0;
 }
 
-int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
+int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
+        core::Algorithm algo) {
   util::Timer timer;
-  const auto result = ids::inspect_pcap(pcap_bytes, rules, {core::Algorithm::vpatch});
+  const auto result = ids::inspect_pcap(pcap_bytes, rules, {algo});
   const double secs = timer.seconds();
 
   std::printf("packets: %zu (skipped %zu), flows: %llu, reassembly drops: %llu, "
@@ -95,7 +101,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules) {
   return 0;
 }
 
-int run_demo(unsigned workers, std::size_t batch_packets) {
+int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -134,8 +140,29 @@ int run_demo(unsigned workers, std::size_t batch_packets) {
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets)
-                     : run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo)
+                     : run(pcap, rules, algo);
+}
+
+// The engine list is the factory's advertised contract for THIS CPU (vector
+// variants only appear when the kernels can dispatch), never a hard-coded
+// string that silently goes stale when an algorithm is added.
+std::string algo_names() {
+  std::string names;
+  for (const core::Algorithm a : core::available_algorithms()) {
+    if (!names.empty()) names += "|";
+    names += core::algorithm_name(a);
+  }
+  return names;
+}
+
+void print_usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] <capture.pcap> "
+               "[rules.rules]  |  %s --demo\n"
+               "  --algo=NAME   matcher engine (default v-patch); available on "
+               "this CPU:\n                %s\n",
+               prog, prog, algo_names().c_str());
 }
 
 }  // namespace
@@ -143,6 +170,7 @@ int run_demo(unsigned workers, std::size_t batch_packets) {
 int main(int argc, char** argv) {
   unsigned workers = 0;        // 0 = single-threaded inspect_pcap path
   std::size_t batch_packets = 0;  // 0 = PipelineConfig default
+  core::Algorithm algo = core::Algorithm::vpatch;
   bool demo = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -150,8 +178,19 @@ int main(int argc, char** argv) {
       workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       batch_packets = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      const auto parsed = core::algorithm_from_name(argv[i] + 7);
+      if (!parsed || !core::algorithm_available(*parsed)) {
+        std::fprintf(stderr, "unknown or unavailable --algo=%s; available: %s\n",
+                     argv[i] + 7, algo_names().c_str());
+        return 2;
+      }
+      algo = *parsed;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(argv[0]);
+      return 0;
     } else {
       positional.push_back(argv[i]);
     }
@@ -160,12 +199,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "note: --batch=N only affects the sharded pipeline; add --workers=N\n");
   }
-  if (demo) return run_demo(workers, batch_packets);
+  if (demo) return run_demo(workers, batch_packets, algo);
   if (positional.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s [--workers=N] [--batch=N] <capture.pcap> [rules.rules]  |  "
-                 "%s --demo\n",
-                 argv[0], argv[0]);
+    print_usage(argv[0]);
     return 2;
   }
   const auto pcap = util::read_file(positional[0]);
@@ -176,5 +212,6 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets) : run(pcap, rules);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo)
+                     : run(pcap, rules, algo);
 }

@@ -1,0 +1,276 @@
+#include "ac/ac_compact.hpp"
+
+#include <array>
+#include <bit>
+#include <deque>
+#include <stdexcept>
+
+#include "ac/ac_lanes.hpp"
+#include "ac/trie.hpp"
+#include "core/candidates.hpp"
+#include "simd/cpu_features.hpp"
+#include "util/bytes.hpp"
+
+namespace vpm::ac {
+
+namespace {
+
+constexpr std::uint32_t kNoSpan = 0xFFFFFFFFu;
+// Per-state layout threshold, evaluated at build time.  The automaton is
+// case-folded, so at most 230 row entries can ever differ from the root row
+// (the folded alphabet); a strict size break-even (245) would therefore
+// never pick dense.  Instead, states diffing on more than half the folded
+// alphabet take the dense row: the memory cost is small and bounded (such
+// states are rare and shallow-hot), and a dense lookup saves the sparse
+// path's second gather.  Must stay <= 255 so rank bases fit 8 bits.
+constexpr std::size_t kDenseThreshold = 128;
+// Staged offsets/positions are 32-bit; a single payload must leave room for
+// the offset arithmetic (anything bigger takes the per-payload scan path).
+constexpr std::size_t kMaxLanePayload = std::size_t{1} << 30;
+
+// Reusable staging + hit-pool scratch for the lane-parallel batch path,
+// installed into the caller-owned ScanScratch (zero steady-state allocs).
+struct AcBatchState final : ScanScratch::State {
+  core::UninitArray<std::uint8_t> folded;
+  core::UninitArray<std::uint32_t> offsets;
+  core::UninitArray<std::uint32_t> lens;
+  core::UninitArray<std::uint32_t> packets;
+  core::UninitArray<AcLaneHit> hits;
+};
+
+}  // namespace
+
+AcCompactMatcher::AcCompactMatcher(const pattern::PatternSet& set) : set_(&set) {
+  const Trie trie(set);
+  const auto& nodes = trie.nodes();
+  const std::size_t n = trie.state_count();
+  state_count_ = n;
+
+  meta_.reserve(set.size());
+  for (const pattern::Pattern& p : set) {
+    meta_.push_back({static_cast<std::uint32_t>(p.size()), p.nocase});
+  }
+
+  // BFS order: every state's fail target precedes it, so a state's resolved
+  // row can be reconstructed from its fail state's already-computed diff.
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  {
+    std::deque<std::uint32_t> queue;
+    for (const auto& [b, child] : nodes[0].children) queue.push_back(child);
+    while (!queue.empty()) {
+      const std::uint32_t s = queue.front();
+      queue.pop_front();
+      order.push_back(s);
+      for (const auto& [b, child] : nodes[s].children) queue.push_back(child);
+    }
+  }
+
+  // Merged output lists (own outputs + report-link chain) in CSR form; only
+  // output states get a span (and an out-word slot in the arena).
+  std::vector<std::uint32_t> span_of(n, kNoSpan);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    const auto begin = static_cast<std::uint32_t>(output_ids_.size());
+    for (std::uint32_t id : nodes[s].outputs) output_ids_.push_back(id);
+    for (std::uint32_t t = nodes[s].report_link; t != kNoState; t = nodes[t].report_link) {
+      for (std::uint32_t id : nodes[t].outputs) output_ids_.push_back(id);
+    }
+    const auto count = static_cast<std::uint32_t>(output_ids_.size()) - begin;
+    if (count != 0) {
+      span_of[s] = static_cast<std::uint32_t>(output_spans_.size());
+      output_spans_.push_back({begin, count});
+    }
+  }
+
+  // The root's resolved row, and every other state's diff against it.  The
+  // resolved row of s is fail(s)'s resolved row overlaid with s's own goto
+  // children; fail(s)'s row is root_row overlaid with diffs[fail(s)], which
+  // BFS order guarantees is already computed.  No full matrix is ever
+  // materialized — peak build memory is the final arena plus one row.
+  std::array<std::uint32_t, 256> root_row{};
+  for (const auto& [b, child] : nodes[0].children) root_row[b] = child;
+
+  std::vector<std::vector<std::pair<std::uint8_t, std::uint32_t>>> diffs(n);
+  std::array<std::uint32_t, 256> row{};
+  for (const std::uint32_t s : order) {
+    row = root_row;
+    for (const auto& [b, t] : diffs[nodes[s].fail]) row[b] = t;
+    for (const auto& [b, child] : nodes[s].children) row[b] = child;
+    auto& d = diffs[s];
+    for (unsigned b = 0; b < 256; ++b) {
+      if (row[b] != root_row[b]) d.emplace_back(static_cast<std::uint8_t>(b), row[b]);
+    }
+  }
+
+  // Offset assignment (root dense at 0; out-word precedes output records).
+  std::vector<std::uint64_t> offset(n, 0);
+  std::vector<bool> dense(n, false);
+  dense[0] = true;
+  dense_states_ = 1;
+  std::uint64_t cursor = 256;
+  for (const std::uint32_t s : order) {
+    const bool is_dense = diffs[s].size() >= kDenseThreshold;
+    dense[s] = is_dense;
+    if (is_dense) ++dense_states_;
+    if (span_of[s] != kNoSpan) ++cursor;
+    offset[s] = cursor;
+    cursor += is_dense ? 256 : (kAcSparseChunks + diffs[s].size());
+  }
+  if (cursor > kAcOffsetMask) {
+    throw std::runtime_error("aho-corasick-compact: automaton exceeds 2^30 arena words");
+  }
+
+  const auto ref_of = [&](std::uint32_t s) {
+    std::uint32_t r = static_cast<std::uint32_t>(offset[s]);
+    if (dense[s]) r |= kAcDenseFlag;
+    if (span_of[s] != kNoSpan) r |= kAcOutputFlag;
+    return r;
+  };
+
+  arena_.assign(cursor, 0);
+  for (unsigned b = 0; b < 256; ++b) arena_[b] = ref_of(root_row[b]);
+  for (const std::uint32_t s : order) {
+    const std::uint64_t off = offset[s];
+    if (span_of[s] != kNoSpan) arena_[off - 1] = span_of[s];
+    if (dense[s]) {
+      row = root_row;
+      for (const auto& [b, t] : diffs[s]) row[b] = t;
+      for (unsigned b = 0; b < 256; ++b) arena_[off + b] = ref_of(row[b]);
+    } else {
+      std::array<std::uint32_t, kAcSparseChunks> chunk{};
+      std::uint64_t ti = off + kAcSparseChunks;
+      for (const auto& [b, t] : diffs[s]) {  // ascending byte order
+        const std::uint32_t c = ac_chunk_of(b);
+        chunk[c] |= 1u << (b - c * 24u);
+        arena_[ti++] = ref_of(t);
+      }
+      std::uint32_t rank_base = 0;
+      for (std::uint32_t c = 0; c < kAcSparseChunks; ++c) {
+        arena_[off + c] = chunk[c] | (rank_base << 24);
+        rank_base += static_cast<std::uint32_t>(std::popcount(chunk[c]));
+      }
+    }
+  }
+}
+
+void AcCompactMatcher::emit(std::uint32_t ref, std::uint64_t end_pos, util::ByteView data,
+                            MatchSink& sink) const {
+  const std::uint32_t off = ref & kAcOffsetMask;
+  const OutputSpan span = output_spans_[arena_[off - 1]];
+  for (std::uint32_t k = 0; k < span.count; ++k) {
+    const std::uint32_t id = output_ids_[span.begin + k];
+    const Meta m = meta_[id];
+    const std::uint64_t start = end_pos + 1 - m.length;
+    if (!m.nocase) {
+      // Automaton is case-folded; exact-case patterns verify raw bytes.
+      if (!(*set_)[id].matches_at(data, start)) continue;
+    }
+    sink.on_match({id, start});
+  }
+}
+
+void AcCompactMatcher::scan(util::ByteView data, MatchSink& sink) const {
+  const std::uint32_t* arena = arena_.data();
+  std::uint32_t ref = kAcRootRef;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint32_t b = util::ascii_lower(data[i]);
+    const std::uint32_t off = ref & kAcOffsetMask;
+    if (ref & kAcDenseFlag) {
+      ref = arena[off + b];
+    } else {
+      const std::uint32_t c = ac_chunk_of(b);
+      const std::uint32_t r = b - c * 24u;
+      const std::uint32_t w = arena[off + c];
+      if ((w >> r) & 1u) {
+        const std::uint32_t idx =
+            (w >> 24) + static_cast<std::uint32_t>(std::popcount(w & ((1u << r) - 1u)));
+        ref = arena[off + kAcSparseChunks + idx];
+      } else {
+        ref = arena[b];  // diff miss: the root row, always offset 0
+      }
+    }
+    if (ref & kAcOutputFlag) emit(ref, i, data, sink);
+  }
+}
+
+void AcCompactMatcher::scan_batch(std::span<const util::ByteView> payloads, BatchSink& sink,
+                                  ScanScratch& scratch) const {
+  std::size_t total = 0;
+  std::size_t staged = 0;
+  for (const util::ByteView& p : payloads) {
+    if (p.empty() || p.size() >= kMaxLanePayload) continue;
+    total += p.size();
+    ++staged;
+  }
+  // Width by batch occupancy: 16 lanes only pay off when the batch can keep
+  // most of them filled — an 8-payload batch runs ~1.5x faster on the
+  // 8-lane AVX2 kernel than half-empty on the 16-lane one.
+  const bool has_avx512 = simd::cpu().has_avx512_kernel();
+  const bool has_avx2 = simd::cpu().has_avx2_kernel();
+  int width = 0;
+  if (has_avx512 && (staged >= 12 || !has_avx2)) {
+    width = 16;
+  } else if (has_avx2) {
+    width = 8;
+  }
+  // A single payload cannot fill lanes, and a >2 GB staging copy would
+  // overflow the gather indices (vpgatherdd sign-extends its 32-bit
+  // indices, so staged offsets must stay below 2^31): both take the
+  // per-payload path.
+  if (width == 0 || staged < 2 || total + kStagePad > 0x7FFFFFFFull) {
+    Matcher::scan_batch(payloads, sink, scratch);
+    return;
+  }
+
+  AcBatchState& st = scratch.state_for<AcBatchState>(this);
+  st.folded.ensure(total + kStagePad);
+  st.offsets.ensure(staged);
+  st.lens.ensure(staged);
+  st.packets.ensure(staged);
+  // At most one output-state hit per staged byte — content-independent bound.
+  st.hits.ensure(total);
+
+  PacketSinkAdapter adapter;
+  adapter.out = &sink;
+
+  std::uint32_t off = 0;
+  std::size_t idx = 0;
+  for (std::size_t p = 0; p < payloads.size(); ++p) {
+    const util::ByteView data = payloads[p];
+    if (data.empty()) continue;
+    if (data.size() >= kMaxLanePayload) {
+      adapter.packet = static_cast<std::uint32_t>(p);
+      scan(data, adapter);
+      continue;
+    }
+    st.offsets[idx] = off;
+    st.lens[idx] = static_cast<std::uint32_t>(data.size());
+    st.packets[idx] = static_cast<std::uint32_t>(p);
+    std::uint8_t* dst = st.folded.data() + off;
+    for (std::size_t i = 0; i < data.size(); ++i) dst[i] = util::ascii_lower(data[i]);
+    off += static_cast<std::uint32_t>(data.size());
+    ++idx;
+  }
+  for (std::size_t i = 0; i < kStagePad; ++i) st.folded[off + i] = 0;
+
+  const AcCompactView view{arena_.data()};
+  const AcStagedBatch in{st.folded.data(), st.offsets.data(), st.lens.data(),
+                         st.packets.data(), staged};
+  const std::size_t n_hits = (width == 16) ? ac_lanes_scan_avx512(view, in, st.hits.data())
+                                           : ac_lanes_scan_avx2(view, in, st.hits.data());
+
+  // Deferred verification round: resolve CSR output lists and case-verify
+  // against the ORIGINAL payload bytes (the staged copy is folded).
+  for (std::size_t h = 0; h < n_hits; ++h) {
+    const AcLaneHit& hit = st.hits[h];
+    adapter.packet = hit.packet;
+    emit(hit.ref, hit.pos, payloads[hit.packet], adapter);
+  }
+}
+
+std::size_t AcCompactMatcher::memory_bytes() const {
+  return arena_.size() * sizeof(std::uint32_t) + output_ids_.size() * sizeof(std::uint32_t) +
+         output_spans_.size() * sizeof(OutputSpan) + meta_.size() * sizeof(Meta);
+}
+
+}  // namespace vpm::ac

@@ -1,5 +1,6 @@
 #include "core/matcher_factory.hpp"
 
+#include "ac/ac_compact.hpp"
 #include "ac/ac_full.hpp"
 #include "ac/ac_sparse.hpp"
 #include "core/naive.hpp"
@@ -16,6 +17,7 @@ std::string_view algorithm_name(Algorithm a) {
     case Algorithm::naive: return "naive";
     case Algorithm::aho_corasick: return "aho-corasick";
     case Algorithm::aho_corasick_sparse: return "aho-corasick-sparse";
+    case Algorithm::aho_corasick_compact: return "aho-corasick-compact";
     case Algorithm::dfc: return "dfc";
     case Algorithm::vector_dfc: return "vector-dfc";
     case Algorithm::spatch: return "s-patch";
@@ -29,8 +31,9 @@ std::string_view algorithm_name(Algorithm a) {
 
 std::optional<Algorithm> algorithm_from_name(std::string_view name) {
   for (Algorithm a : {Algorithm::naive, Algorithm::aho_corasick, Algorithm::aho_corasick_sparse,
-                      Algorithm::dfc, Algorithm::vector_dfc, Algorithm::spatch, Algorithm::vpatch,
-                      Algorithm::vpatch_avx2, Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
+                      Algorithm::aho_corasick_compact, Algorithm::dfc, Algorithm::vector_dfc,
+                      Algorithm::spatch, Algorithm::vpatch, Algorithm::vpatch_avx2,
+                      Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
     if (algorithm_name(a) == name) return a;
   }
   return std::nullopt;
@@ -51,8 +54,9 @@ bool algorithm_available(Algorithm a) {
 std::vector<Algorithm> available_algorithms() {
   std::vector<Algorithm> out;
   for (Algorithm a : {Algorithm::naive, Algorithm::aho_corasick, Algorithm::aho_corasick_sparse,
-                      Algorithm::dfc, Algorithm::vector_dfc, Algorithm::spatch, Algorithm::vpatch,
-                      Algorithm::vpatch_avx2, Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
+                      Algorithm::aho_corasick_compact, Algorithm::dfc, Algorithm::vector_dfc,
+                      Algorithm::spatch, Algorithm::vpatch, Algorithm::vpatch_avx2,
+                      Algorithm::vpatch_avx512, Algorithm::wu_manber}) {
     if (algorithm_available(a)) out.push_back(a);
   }
   return out;
@@ -66,6 +70,10 @@ MatcherPtr make_matcher(Algorithm a, const pattern::PatternSet& set) {
       return std::make_unique<ac::AcFullMatcher>(set);
     case Algorithm::aho_corasick_sparse:
       return std::make_unique<ac::AcSparseMatcher>(set);
+    case Algorithm::aho_corasick_compact:
+      // Always available: the scalar compact scan needs no vector ISA; the
+      // lane-parallel scan_batch kernel dispatches through simd::cpu().
+      return std::make_unique<ac::AcCompactMatcher>(set);
     case Algorithm::dfc:
       return std::make_unique<dfc::DfcMatcher>(set);
     case Algorithm::vector_dfc:

@@ -15,8 +15,9 @@ namespace vpm::core {
 
 enum class Algorithm : std::uint8_t {
   naive,
-  aho_corasick,         // full-matrix (the paper's AC baseline)
-  aho_corasick_sparse,  // failure-link variant
+  aho_corasick,          // full-matrix (the paper's AC baseline)
+  aho_corasick_sparse,   // failure-link variant
+  aho_corasick_compact,  // compressed interleaved layout + SIMD lane batch kernel
   dfc,                  // Choi et al. baseline
   vector_dfc,           // direct vectorization of DFC
   spatch,               // scalar restructured design

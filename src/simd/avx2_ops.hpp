@@ -75,6 +75,20 @@ inline std::uint32_t filter_testbits(__m256i words, __m256i vals) {
   return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(nz)));
 }
 
+// Per-lane popcount of the 8 dword lanes (AVX2 has no vpopcntd): nibble-LUT
+// byte counts, then a 0x01010101 multiply folds the four byte counts into
+// the top byte of each dword (counts <= 8 per byte, so no carry).
+inline __m256i popcount_u32(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+                                       0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low_nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nib);
+  const __m256i cnt8 =
+      _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+  return _mm256_srli_epi32(_mm256_mullo_epi32(cnt8, _mm256_set1_epi32(0x01010101)), 24);
+}
+
 // vpermd control table: row m lists the set-bit positions of mask m in order.
 // Used to left-pack matching lane positions before the store into the
 // candidate arrays (Polychroniou-style compaction; AVX2 has no vpcompressd).

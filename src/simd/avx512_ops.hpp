@@ -54,6 +54,19 @@ inline std::uint32_t filter_testbits(__m512i words, __m512i vals) {
   return _mm512_test_epi32_mask(bit, bit);
 }
 
+// Per-lane popcount of the 16 dword lanes (VPOPCNTDQ is not in the required
+// feature set): same nibble-LUT + 0x01010101-multiply fold as the AVX2 one.
+inline __m512i popcount_u32(__m512i v) {
+  const __m512i lut = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low_nib = _mm512_set1_epi8(0x0F);
+  const __m512i lo = _mm512_and_si512(v, low_nib);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_nib);
+  const __m512i cnt8 =
+      _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo), _mm512_shuffle_epi8(lut, hi));
+  return _mm512_srli_epi32(_mm512_mullo_epi32(cnt8, _mm512_set1_epi32(0x01010101)), 24);
+}
+
 // Compress-store of matching lane positions — AVX-512 has vpcompressd, so no
 // permutation table is needed and only `popcount(mask)` dwords are written.
 inline unsigned leftpack_positions(std::uint32_t base_pos, std::uint32_t mask16,

@@ -81,9 +81,13 @@ struct CountingAlertSink final : ids::AlertSink {
 };
 
 // Matcher-level: scan_batch with a reused scratch, batch size churning
-// between rounds, must not allocate after the first full-size round.
+// between rounds, must not allocate after the first full-size round.  The
+// AC compact variant pins the lane kernel's staging + hit-pool scratch (the
+// pipeline's fallback engine for long/dense rulesets) alongside V-PATCH and
+// DFC.
 TEST(AllocTest, MatcherBatchScanSteadyStateIsAllocationFree) {
-  for (core::Algorithm algo : {core::Algorithm::vpatch, core::Algorithm::dfc}) {
+  for (core::Algorithm algo : {core::Algorithm::vpatch, core::Algorithm::dfc,
+                               core::Algorithm::aho_corasick_compact}) {
     const auto set = testutil::random_set(300, 6, case_seed(301));
     const auto matcher = core::make_matcher(algo, set);
     std::vector<util::Bytes> payloads;

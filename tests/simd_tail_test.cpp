@@ -16,8 +16,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
+#include "ac/ac_compact.hpp"
 #include "core/matcher_factory.hpp"
 #include "helpers.hpp"
 #include "simd/cpu_features.hpp"
@@ -145,6 +147,48 @@ TEST(SimdTail, EveryEngineMatchesAtExactBufferEnd) {
                                      "tail n=" + std::to_string(n));
     }
   }
+}
+
+// The AC lane kernel's read contract (ac_lanes.hpp): input bytes are
+// fetched 4 at a time, but only from the STAGED copy — never from the
+// caller's payload buffers.  Exact-extent heap payloads driven through
+// scan_batch (under ASan in CI) trip any kernel change that starts reading
+// user memory wide; the value check pins batch/scan equality at the same
+// time.
+TEST(SimdTail, AcLaneKernelNeverReadsPastCallerPayloads) {
+  const auto set = testutil::boundary_set();
+  const ac::AcCompactMatcher compact(set);
+
+  std::vector<std::vector<std::uint8_t>> buffers;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                              std::size_t{13}, std::size_t{64}, std::size_t{129}}) {
+    auto buf = exact_buffer(n);
+    const char* needle = "abcde";
+    const std::size_t k = std::min<std::size_t>(5, n);
+    std::copy(needle, needle + k, buf.end() - static_cast<std::ptrdiff_t>(k));
+    buffers.push_back(std::move(buf));
+  }
+  std::vector<util::ByteView> views;
+  for (const auto& b : buffers) views.emplace_back(b.data(), b.size());
+
+  struct Sink final : BatchSink {
+    std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> out;
+    void on_match(std::uint32_t packet, const Match& m) override {
+      out.emplace_back(packet, m.pattern_id, m.pos);
+    }
+  } sink;
+  ScanScratch scratch;
+  compact.scan_batch({views.data(), views.size()}, sink, scratch);
+  std::sort(sink.out.begin(), sink.out.end());
+
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>> expected;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    for (const Match& m : compact.find_matches(views[i])) {
+      expected.emplace_back(static_cast<std::uint32_t>(i), m.pattern_id, m.pos);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(sink.out, expected);
 }
 
 }  // namespace
