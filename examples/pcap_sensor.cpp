@@ -10,6 +10,12 @@
 //   ./pcap_sensor --algo=NAME ...                matcher engine; names come
 //                                                from available_algorithms()
 //                                                (see --help for this CPU)
+//   ./pcap_sensor --swap-after=N ...             with --workers: quiesce after
+//                                                N packets and hot-swap to a
+//                                                freshly compiled database —
+//                                                the zero-drop ruleset reload
+//                                                path, end to end (alerts are
+//                                                tagged per generation)
 //
 // Demo mode synthesizes HTTP flows (with deliberately reordered segments and
 // planted attack payloads), writes a well-formed pcap to a temp file, then
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "core/database.hpp"
 #include "core/matcher_factory.hpp"
 #include "ids/pcap_pipeline.hpp"
 #include "net/flowgen.hpp"
@@ -37,19 +44,55 @@ namespace {
 using namespace vpm;
 
 int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-                unsigned workers, std::size_t batch_packets, core::Algorithm algo) {
+                unsigned workers, std::size_t batch_packets, core::Algorithm algo,
+                std::size_t swap_after) {
   auto parsed = net::read_pcap(pcap_bytes);
 
+  // Compile once, share everywhere: the database owns its pattern copy and
+  // is handed to the runtime as an immutable artifact.
+  const DatabasePtr db = compile(algo, rules);
+
   pipeline::PipelineConfig cfg;
-  cfg.algorithm = algo;
   cfg.workers = workers;
   if (batch_packets > 0) cfg.batch_packets = batch_packets;
-  pipeline::PipelineRuntime rt(rules, cfg);
+  pipeline::PipelineRuntime rt(db, cfg);
   rt.start();
+  // Compiled outside the timed region: the control-plane cost of producing a
+  // new ruleset (bench_compile measures it) must not distort the data-plane
+  // Gbps this mode reports alongside the non-swap one.
+  DatabasePtr db2;
+  if (swap_after > 0 && swap_after < parsed.packets.size()) {
+    db2 = compile(algo, rules);  // stands in for a newly distributed ruleset
+  }
   util::Timer timer;
-  for (net::Packet& p : parsed.packets) rt.submit(std::move(p));
+  if (db2 != nullptr) {
+    for (std::size_t i = 0; i < swap_after; ++i) rt.submit(std::move(parsed.packets[i]));
+    // Quiesce-then-swap: every packet so far is attributed to generation 1,
+    // everything after to generation 2 — the zero-drop reload recipe.
+    rt.quiesce();
+    rt.swap_database(db2);
+    for (std::size_t i = swap_after; i < parsed.packets.size(); ++i) {
+      rt.submit(std::move(parsed.packets[i]));
+    }
+  } else {
+    for (net::Packet& p : parsed.packets) rt.submit(std::move(p));
+  }
   rt.stop();
   const double secs = timer.seconds();
+
+  if (db2 != nullptr) {
+    std::size_t gen1 = 0, gen2 = 0;
+    for (const ids::Alert& a : rt.alerts()) {
+      if (a.generation == db->generation()) ++gen1;
+      if (a.generation == db2->generation()) ++gen2;
+    }
+    std::printf("hot-swap after %zu packets: %zu alerts under generation %llu, "
+                "%zu under generation %llu (fingerprints %016llx / %016llx)\n",
+                swap_after, gen1, static_cast<unsigned long long>(db->generation()),
+                gen2, static_cast<unsigned long long>(db2->generation()),
+                static_cast<unsigned long long>(db->fingerprint()),
+                static_cast<unsigned long long>(db2->fingerprint()));
+  }
 
   const auto stats = rt.stats();
   const auto totals = stats.totals();
@@ -101,7 +144,8 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   return 0;
 }
 
-int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo) {
+int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo,
+             std::size_t swap_after) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -140,7 +184,7 @@ int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo) 
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo)
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo, swap_after)
                      : run(pcap, rules, algo);
 }
 
@@ -158,10 +202,12 @@ std::string algo_names() {
 
 void print_usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] <capture.pcap> "
-               "[rules.rules]  |  %s --demo\n"
-               "  --algo=NAME   matcher engine (default v-patch); available on "
-               "this CPU:\n                %s\n",
+               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--swap-after=N] "
+               "<capture.pcap> [rules.rules]  |  %s --demo\n"
+               "  --algo=NAME      matcher engine (default v-patch); available on "
+               "this CPU:\n                   %s\n"
+               "  --swap-after=N   with --workers: hot-swap to a recompiled "
+               "database after N packets\n",
                prog, prog, algo_names().c_str());
 }
 
@@ -170,6 +216,7 @@ void print_usage(const char* prog) {
 int main(int argc, char** argv) {
   unsigned workers = 0;        // 0 = single-threaded inspect_pcap path
   std::size_t batch_packets = 0;  // 0 = PipelineConfig default
+  std::size_t swap_after = 0;     // 0 = no hot-swap
   core::Algorithm algo = core::Algorithm::vpatch;
   bool demo = false;
   std::vector<const char*> positional;
@@ -178,6 +225,8 @@ int main(int argc, char** argv) {
       workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
       batch_packets = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--swap-after=", 13) == 0) {
+      swap_after = static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
     } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
       const auto parsed = core::algorithm_from_name(argv[i] + 7);
       if (!parsed || !core::algorithm_available(*parsed)) {
@@ -199,7 +248,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "note: --batch=N only affects the sharded pipeline; add --workers=N\n");
   }
-  if (demo) return run_demo(workers, batch_packets, algo);
+  if (workers == 0 && swap_after > 0) {
+    std::fprintf(stderr,
+                 "note: --swap-after=N only affects the sharded pipeline; add "
+                 "--workers=N\n");
+  }
+  if (demo) return run_demo(workers, batch_packets, algo, swap_after);
   if (positional.empty()) {
     print_usage(argv[0]);
     return 2;
@@ -212,6 +266,6 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo)
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo, swap_after)
                      : run(pcap, rules, algo);
 }

@@ -1,10 +1,10 @@
-// Quickstart: build a V-PATCH matcher from a handful of patterns and scan a
-// buffer — the 30-second tour of the public API.
+// Quickstart: compile a V-PATCH database from a handful of patterns and scan
+// a buffer through a Scanner session — the 30-second tour of the public API.
 //
 //   ./quickstart
 #include <cstdio>
 
-#include "core/matcher_factory.hpp"
+#include "core/database.hpp"
 #include "pattern/pattern_set.hpp"
 
 int main() {
@@ -18,24 +18,33 @@ int main() {
   patterns.add("/etc/passwd");
   patterns.add("\x90\x90\x90\x90");  // binary patterns work too
 
-  // 2. Build a matcher.  Algorithm::vpatch picks the widest SIMD kernel the
-  //    CPU offers (AVX-512 W=16, AVX2 W=8, scalar fallback) — all engines
-  //    report the identical matches.
-  const MatcherPtr matcher = core::make_matcher(core::Algorithm::vpatch, patterns);
-  std::printf("engine: %s, search structures: %zu KB\n",
-              std::string(matcher->name()).c_str(), matcher->memory_bytes() >> 10);
+  // 2. Compile.  Algorithm::vpatch picks the widest SIMD kernel the CPU
+  //    offers (AVX-512 W=16, AVX2 W=8, scalar fallback) — all engines report
+  //    the identical matches.  The Database owns a copy of the patterns, so
+  //    `patterns` could be destroyed right here; share it across threads via
+  //    the returned shared_ptr.
+  const DatabasePtr db = compile(core::Algorithm::vpatch, patterns);
+  std::printf("engine: %s, %zu patterns, compiled size: %zu KB, "
+              "generation %llu, fingerprint %016llx\n",
+              std::string(db->engine().name()).c_str(), db->pattern_count(),
+              db->memory_bytes() >> 10,
+              static_cast<unsigned long long>(db->generation()),
+              static_cast<unsigned long long>(db->fingerprint()));
 
-  // 3. Scan.  Sinks receive (pattern_id, start offset) for every occurrence.
+  // 3. Scan through a per-thread Scanner session.  Sinks receive
+  //    (pattern_id, start offset) for every occurrence; find_matches is the
+  //    collecting convenience.
+  Scanner scanner(db);
   const std::string payload =
       "GET /admin HTTP/1.1\r\nHost: x\r\n\r\n"
       "id=1 union select password from users -- /etc/passwd";
-  const auto matches = matcher->find_matches(util::as_view(payload));
+  const auto matches = scanner.find_matches(util::as_view(payload));
 
   std::printf("%zu matches in %zu bytes:\n", matches.size(), payload.size());
   for (const Match& m : matches) {
     std::printf("  offset %4llu  pattern %u  '%s'\n",
                 static_cast<unsigned long long>(m.pos), m.pattern_id,
-                patterns[m.pattern_id].printable().c_str());
+                db->patterns()[m.pattern_id].printable().c_str());
   }
   return 0;
 }

@@ -222,7 +222,7 @@ void AcCompactMatcher::scan_batch(std::span<const util::ByteView> payloads, Batc
     return;
   }
 
-  AcBatchState& st = scratch.state_for<AcBatchState>(this);
+  AcBatchState& st = scratch.state_for<AcBatchState>(scratch_owner_id());
   st.folded.ensure(total + kStagePad);
   st.offsets.ensure(staged);
   st.lens.ensure(staged);

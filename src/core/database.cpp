@@ -1,0 +1,127 @@
+#include "core/database.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace vpm {
+
+namespace {
+
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t Database::fingerprint_of(const pattern::PatternSet& set) {
+  std::uint64_t h = util::fnv1a64_u64(set.size(), util::kFnv64Seed);
+  for (const pattern::Pattern& p : set) {
+    h = util::fnv1a64_u64(p.size(), h);
+    h = util::fnv1a64_u64((p.nocase ? 1u : 0u) |
+                              (static_cast<std::uint64_t>(p.group) << 8),
+                          h);
+    h = util::fnv1a64(p.bytes.data(), p.bytes.size(), h);
+  }
+  return h;
+}
+
+Database::Database(Private, core::Algorithm algorithm, pattern::PatternSet patterns)
+    : patterns_(std::move(patterns)),
+      algorithm_(algorithm),
+      generation_(next_generation()),
+      fingerprint_(fingerprint_of(patterns_)) {
+  // Fail at compile() time, not on first engine() use: a database whose
+  // algorithm this CPU cannot run must never be handed out.
+  if (!core::algorithm_available(algorithm_)) {
+    throw std::runtime_error(std::string("compile: algorithm '") +
+                             std::string(core::algorithm_name(algorithm_)) +
+                             "' is unavailable on this CPU");
+  }
+}
+
+const Matcher& Database::engine() const {
+  std::call_once(engine_once_,
+                 [this] { engine_ = core::make_matcher(algorithm_, patterns_); });
+  return *engine_;
+}
+
+std::size_t Database::memory_bytes() const {
+  std::size_t pattern_bytes = 0;
+  for (const pattern::Pattern& p : patterns_) {
+    pattern_bytes += sizeof(pattern::Pattern) + p.bytes.capacity();
+  }
+  return engine().memory_bytes() + pattern_bytes;
+}
+
+util::Bytes Database::save_patterns() const {
+  pattern::DbHeader header;
+  header.algorithm_hint = static_cast<std::uint8_t>(algorithm_);
+  header.fingerprint = fingerprint_;
+  return pattern::serialize_patterns(patterns_, header);
+}
+
+DatabasePtr compile(core::Algorithm algorithm, pattern::PatternSet set) {
+  return std::make_shared<Database>(Database::Private{}, algorithm, std::move(set));
+}
+
+namespace {
+
+DatabasePtr from_serialized_impl(util::ByteView blob,
+                                 const core::Algorithm* algorithm_override) {
+  pattern::DbHeader header;
+  pattern::PatternSet set = pattern::deserialize_patterns(blob, &header);
+  // v2 blobs MUST carry the matching content fingerprint (save_patterns
+  // always writes it); exempting 0 would let corruption that zeroes the
+  // header field silently disable the integrity check.  v1 blobs predate
+  // fingerprints and are admitted unchecked.
+  if (header.version >= 2 && header.fingerprint != Database::fingerprint_of(set)) {
+    throw std::invalid_argument("pattern db: fingerprint mismatch (corrupt payload)");
+  }
+  core::Algorithm algorithm;
+  if (algorithm_override != nullptr) {
+    algorithm = *algorithm_override;
+  } else {
+    if (header.algorithm_hint == pattern::kNoAlgorithmHint ||
+        !core::algorithm_from_name(
+             core::algorithm_name(static_cast<core::Algorithm>(header.algorithm_hint)))
+             .has_value()) {
+      throw std::invalid_argument(
+          "pattern db: no usable algorithm hint; pass one explicitly");
+    }
+    algorithm = static_cast<core::Algorithm>(header.algorithm_hint);
+    if (!core::algorithm_available(algorithm)) {
+      // A blob saved on a wider-ISA host: the payload is fine, this CPU just
+      // cannot run the hinted engine — distinct from corruption, and fixable
+      // by the caller choosing an engine for this host.
+      throw std::invalid_argument(
+          std::string("pattern db: hinted algorithm '") +
+          std::string(core::algorithm_name(algorithm)) +
+          "' is unavailable on this CPU; pass one explicitly");
+    }
+  }
+  return compile(algorithm, std::move(set));
+}
+
+}  // namespace
+
+DatabasePtr Database::from_serialized(util::ByteView blob) {
+  return from_serialized_impl(blob, nullptr);
+}
+
+DatabasePtr Database::from_serialized(util::ByteView blob, core::Algorithm algorithm) {
+  return from_serialized_impl(blob, &algorithm);
+}
+
+Scanner::Scanner(DatabasePtr db) : db_(std::move(db)) {
+  if (db_ == nullptr) throw std::invalid_argument("Scanner: null database");
+}
+
+void Scanner::rebind(DatabasePtr db) {
+  if (db == nullptr) throw std::invalid_argument("Scanner::rebind: null database");
+  db_ = std::move(db);
+}
+
+}  // namespace vpm

@@ -1,5 +1,14 @@
 // Engine factory: the five evaluated algorithms (paper §V) plus the extra
 // baselines, behind one constructor for benches, examples and tests.
+//
+// NOTE — compile/runtime split: new code should prefer the Database/Scanner
+// API in core/database.hpp (`vpm::compile(algorithm, set)` returns an
+// immutable shared artifact that OWNS its pattern copy; `vpm::Scanner` is
+// the per-thread session).  make_matcher below remains as the low-level
+// building block the Database wraps — DEPRECATED for direct application
+// use because of its lifetime contract (the caller's PatternSet must
+// outlive the matcher).  See README "API: compile vs. runtime" for the
+// migration table.
 #pragma once
 
 #include <memory>
@@ -33,7 +42,9 @@ std::optional<Algorithm> algorithm_from_name(std::string_view name);
 std::vector<Algorithm> available_algorithms();
 bool algorithm_available(Algorithm a);
 
-// Builds a matcher over `set`. The PatternSet must outlive the matcher.
+// Builds a matcher over `set`. The PatternSet must outlive the matcher —
+// this lifetime footgun is why application code should use vpm::compile()
+// (core/database.hpp) instead; that wrapper owns a copy of the patterns.
 // Throws std::runtime_error for vector engines on unsupported CPUs.
 MatcherPtr make_matcher(Algorithm a, const pattern::PatternSet& set);
 

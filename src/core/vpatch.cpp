@@ -137,7 +137,7 @@ void VpatchMatcher::scan_with_stats(util::ByteView data, MatchSink& sink,
 
 void VpatchMatcher::scan_batch(std::span<const util::ByteView> payloads, BatchSink& sink,
                                ScanScratch& scratch) const {
-  BatchScanState& st = scratch.state_for<BatchScanState>(this);
+  BatchScanState& st = scratch.state_for<BatchScanState>(scratch_owner_id());
 
   // Capacity: every position of every batched payload can land in both
   // candidate arrays; oversized payloads take the chunked per-payload path
@@ -259,7 +259,7 @@ VpatchMatcher::FilterOnlyResult VpatchMatcher::filter_only(util::ByteView data,
     return result;
   }
 
-  CandidateBuffers& buffers = scratch.state_for<BatchScanState>(this).buffers;
+  CandidateBuffers& buffers = scratch.state_for<BatchScanState>(scratch_owner_id()).buffers;
   buffers.ensure_capacity(std::min(cfg_.chunk_size, n));
   const std::size_t last_window_pos = n - 1;
   for (std::size_t chunk = 0; chunk < n; chunk += cfg_.chunk_size) {

@@ -8,6 +8,7 @@ std::string format_alert(const Alert& alert, const pattern::PatternSet& set) {
   out += " group=";
   out += group_name(alert.group);
   out += " pattern=" + std::to_string(alert.pattern_id);
+  if (alert.generation != 0) out += " gen=" + std::to_string(alert.generation);
   if (alert.pattern_id < set.size()) {
     out += " '";
     out += set[alert.pattern_id].printable();

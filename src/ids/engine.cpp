@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace vpm::ids {
 
@@ -18,16 +19,36 @@ struct ScanGuard {
 }  // namespace
 
 IdsEngine::IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg)
-    : rules_(rules, cfg.algorithm) {}
+    : rules_(std::make_shared<const GroupedRules>(rules, cfg.algorithm)) {}
+
+IdsEngine::IdsEngine(DatabasePtr db)
+    : rules_(std::make_shared<const GroupedRules>(std::move(db))) {}
+
+IdsEngine::IdsEngine(GroupedRulesPtr rules) : rules_(std::move(rules)) {
+  if (rules_ == nullptr) throw std::invalid_argument("IdsEngine: null rules");
+}
+
+void IdsEngine::swap_rules(GroupedRulesPtr rules, AlertSink& sink) {
+  assert(!in_scan_ && "swap_rules() called from an AlertSink mid-scan");
+  if (rules == nullptr) throw std::invalid_argument("IdsEngine::swap_rules: null rules");
+  // Staged chunks belong to the old generation: scan them under the old
+  // rules before the boundary.
+  flush_batch(sink);
+  // Clean stream boundary: per-flow carry is tied to the old rules' group
+  // matchers and pattern-length tables, so every flow restarts fresh under
+  // the new generation (counters_.flows keeps counting distinct arrivals).
+  flows_.clear();
+  rules_ = std::move(rules);
+}
 
 IdsEngine::FlowState& IdsEngine::flow_for(std::uint64_t flow_id, pattern::Group protocol) {
   auto it = flows_.find(flow_id);
   if (it == flows_.end()) {
     it = flows_
              .emplace(flow_id,
-                      FlowState{protocol, StreamScanner(rules_.matcher_for(protocol),
-                                                        rules_.max_pattern_length(protocol),
-                                                        rules_.pattern_lengths(protocol))})
+                      FlowState{protocol, StreamScanner(rules_->matcher_for(protocol),
+                                                        rules_->max_pattern_length(protocol),
+                                                        rules_->pattern_lengths(protocol))})
              .first;
     ++counters_.flows;
   }
@@ -55,12 +76,12 @@ void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::By
     std::uint64_t emitted = 0;
     void on_match(const Match& m) override {
       out->on_alert(Alert{flow_id, rules->master_id(protocol, m.pattern_id), m.pos,
-                          protocol});
+                          protocol, rules->generation()});
       ++emitted;
     }
   } sink;
   sink.out = &out;
-  sink.rules = &rules_;
+  sink.rules = rules_.get();
   sink.flow_id = flow_id;
   sink.protocol = flow->protocol;
 
@@ -133,8 +154,8 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
       void on_match(std::uint32_t packet, const Match& m) override {
         const Staged& s = self->pending_[gather->staged_index[packet]];
         if (s.flow->scanner.already_reported(m, s.carry)) return;
-        out->on_alert(Alert{s.flow_id, self->rules_.master_id(group, m.pattern_id),
-                            s.base + m.pos, group});
+        out->on_alert(Alert{s.flow_id, self->rules_->master_id(group, m.pattern_id),
+                            s.base + m.pos, group, self->rules_->generation()});
         ++emitted;
       }
     } sink;
@@ -143,7 +164,7 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
     sink.gather = &g;
     sink.group = group;
 
-    rules_.matcher_for(group).scan_batch(g.views, sink, scratch_[gi]);
+    rules_->matcher_for(group).scan_batch(g.views, sink, scratch_[gi]);
     counters_.alerts += sink.emitted;
     g.views.clear();
     g.staged_index.clear();

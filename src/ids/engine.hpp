@@ -27,7 +27,30 @@ struct EngineCounters {
 
 class IdsEngine {
  public:
+  // Legacy shim: compiles a private GroupedRules from a caller-owned set
+  // (copied; the caller's set is not referenced afterwards).  Alerts carry
+  // generation 0.  Prefer the Database/GroupedRulesPtr constructors.
   IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg = {});
+
+  // Compiles protocol groups keyed off a shared database; alerts carry
+  // db->generation().
+  explicit IdsEngine(DatabasePtr db);
+
+  // Adopts an already-compiled grouped ruleset.  This is the pipeline's
+  // form: one GroupedRules per ruleset generation, compiled once and shared
+  // immutably by every worker's engine (scan state lives in per-engine
+  // scratch, so concurrent engines over one GroupedRules are safe).
+  explicit IdsEngine(GroupedRulesPtr rules);
+
+  // Ruleset hot-swap: flushes any staged chunks under the OLD rules
+  // (delivering their alerts to `sink`), resets all per-flow stream state —
+  // a swap is a clean stream boundary; a pattern spanning the swap point is
+  // attributed to neither generation — then adopts `rules`.  Must not be
+  // called from an AlertSink callback mid-scan.
+  void swap_rules(GroupedRulesPtr rules, AlertSink& sink);
+
+  // The generation of the currently adopted rules (tags every alert).
+  std::uint64_t generation() const { return rules_->generation(); }
 
   // Inspects the next payload chunk of `flow_id` (protocol fixed per flow at
   // first sight); delivers alerts to `sink` as they are found.
@@ -71,7 +94,8 @@ class IdsEngine {
   std::size_t active_flows() const { return flows_.size(); }
 
   const EngineCounters& counters() const { return counters_; }
-  const GroupedRules& rules() const { return rules_; }
+  const GroupedRules& rules() const { return *rules_; }
+  const GroupedRulesPtr& rules_ptr() const { return rules_; }
 
  private:
   struct FlowState {
@@ -95,7 +119,7 @@ class IdsEngine {
 
   FlowState& flow_for(std::uint64_t flow_id, pattern::Group protocol);
 
-  GroupedRules rules_;
+  GroupedRulesPtr rules_;
   std::unordered_map<std::uint64_t, FlowState> flows_;
   EngineCounters counters_;
 

@@ -1,8 +1,21 @@
 #include "ids/rule_group.hpp"
 
+#include <stdexcept>
+
 namespace vpm::ids {
 
-GroupedRules::GroupedRules(const pattern::PatternSet& master, core::Algorithm algorithm) {
+GroupedRules::GroupedRules(DatabasePtr db) : db_(std::move(db)) {
+  if (db_ == nullptr) throw std::invalid_argument("GroupedRules: null database");
+  algorithm_ = db_->algorithm();
+  build(db_->patterns(), algorithm_);
+}
+
+GroupedRules::GroupedRules(const pattern::PatternSet& master, core::Algorithm algorithm)
+    : algorithm_(algorithm) {
+  build(master, algorithm);
+}
+
+void GroupedRules::build(const pattern::PatternSet& master, core::Algorithm algorithm) {
   using pattern::Group;
   for (std::size_t g = 0; g < entries_.size(); ++g) {
     Entry& entry = entries_[g];

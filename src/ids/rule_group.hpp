@@ -8,20 +8,47 @@
 // patterns plus the generic ones.  Pattern ids reported by group matchers
 // are LOCAL to the group's PatternSet; the mapping back to the master set is
 // provided for alert rendering.
+//
+// A GroupedRules is an immutable compiled artifact once built: matcher_for()
+// and every accessor are const and thread-safe (scan state lives in
+// caller-owned ScanScratch), so one instance can back any number of engine
+// instances across threads — the pipeline shares one GroupedRulesPtr per
+// ruleset generation among all workers instead of compiling per worker.
+// Build it from a DatabasePtr to key the groups off a shared compiled
+// database: the Database ref keeps the master pattern bytes alive and
+// supplies the generation id alerts are tagged with.
 #pragma once
 
 #include <array>
 #include <memory>
 #include <vector>
 
+#include "core/database.hpp"
 #include "core/matcher_factory.hpp"
 #include "pattern/pattern_set.hpp"
 
 namespace vpm::ids {
 
+class GroupedRules;
+using GroupedRulesPtr = std::shared_ptr<const GroupedRules>;
+
 class GroupedRules {
  public:
+  // Keys the group matchers off `db` (master patterns + algorithm); the
+  // stored ref keeps the database alive and generation() reports
+  // db->generation().
+  explicit GroupedRules(DatabasePtr db);
+
+  // Legacy shim: compiles from a caller-owned master set (copied into the
+  // per-group sets; the caller's set is not referenced after construction).
+  // generation() is 0 on this path.
   GroupedRules(const pattern::PatternSet& master, core::Algorithm algorithm);
+
+  // The ruleset generation alerts produced through these rules carry.
+  std::uint64_t generation() const { return db_ != nullptr ? db_->generation() : 0; }
+  // The backing database (null on the legacy shim path).
+  const DatabasePtr& database() const { return db_; }
+  core::Algorithm algorithm() const { return algorithm_; }
 
   // The matcher for traffic of protocol `g` (http/dns/ftp/smtp/generic).
   const Matcher& matcher_for(pattern::Group g) const { return *entries_[index(g)].matcher; }
@@ -42,6 +69,8 @@ class GroupedRules {
  private:
   static std::size_t index(pattern::Group g) { return static_cast<std::size_t>(g); }
 
+  void build(const pattern::PatternSet& master, core::Algorithm algorithm);
+
   struct Entry {
     pattern::PatternSet patterns;
     std::vector<std::uint32_t> to_master;
@@ -49,6 +78,8 @@ class GroupedRules {
     MatcherPtr matcher;
     std::size_t max_len = 0;
   };
+  DatabasePtr db_;  // null on the legacy shim path
+  core::Algorithm algorithm_ = core::Algorithm::vpatch;
   std::array<Entry, static_cast<std::size_t>(pattern::Group::count)> entries_;
 };
 

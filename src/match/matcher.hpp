@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -81,6 +82,16 @@ struct PacketSinkAdapter final : MatchSink {
   void on_match(const Match& m) override { out->on_match(packet, m); }
 };
 
+// Process-unique owner tags for ScanScratch state.  Every Matcher draws one
+// at construction; ids are never reused, so scratch tagged by a dead engine
+// can never be mistaken for the current owner's (the ABA hazard a raw
+// `const void*` owner pointer had: a new engine allocated at a dead engine's
+// address would inherit stale state).
+inline std::uint64_t next_scratch_owner_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 // Caller-owned, reusable scratch for Matcher::scan_batch.
 //
 // The batch fast path amortizes per-call setup across many small payloads;
@@ -88,37 +99,44 @@ struct PacketSinkAdapter final : MatchSink {
 // per-packet bookkeeping), which the caller owns so steady-state scanning
 // performs zero heap allocations.  A scratch instance must not be shared
 // between threads.  It MAY be handed to different matchers over time: the
-// stored state is tagged by the matcher that built it and is re-created
-// whenever the owner changes.
+// stored state is tagged by the owning matcher's monotonically assigned id
+// and is re-created whenever the owner changes.
 class ScanScratch {
  public:
   struct State {
     virtual ~State() = default;
   };
 
-  // Returns the stored state if it was installed by `owner` with type T,
-  // otherwise replaces the state with a default-constructed T.  The owner
-  // tag is a raw pointer: a new matcher allocated at a dead matcher's
-  // address inherits the old state, so State implementations must be pure
-  // reusable scratch whose logical content is re-established on every
-  // scan_batch call (capacity may carry over; data must not).
+  // Returns the stored state if it was installed by the owner with id
+  // `owner_id` (a Matcher::scratch_owner_id()) with type T, otherwise
+  // replaces the state with a default-constructed T.  Owner ids are
+  // monotonic and never recycled, so a mismatch is always detected; State
+  // implementations must still be pure reusable scratch whose logical
+  // content is re-established on every scan_batch call (capacity may carry
+  // over; data must not).
   template <class T>
-  T& state_for(const void* owner) {
-    if (owner_ != owner || dynamic_cast<T*>(state_.get()) == nullptr) {
+  T& state_for(std::uint64_t owner_id) {
+    if (owner_ != owner_id || dynamic_cast<T*>(state_.get()) == nullptr) {
       state_ = std::make_unique<T>();
-      owner_ = owner;
+      owner_ = owner_id;
     }
     return static_cast<T&>(*state_);
   }
 
  private:
   std::unique_ptr<State> state_;
-  const void* owner_ = nullptr;
+  std::uint64_t owner_ = 0;  // 0 = no state installed (ids start at 1)
 };
 
 class Matcher {
  public:
+  Matcher() = default;
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
   virtual ~Matcher() = default;
+
+  // This engine's ScanScratch owner tag (monotonic, never reused).
+  std::uint64_t scratch_owner_id() const { return scratch_owner_id_; }
 
   // Finds every occurrence of every pattern in `data`.
   virtual void scan(util::ByteView data, MatchSink& sink) const = 0;
@@ -159,6 +177,9 @@ class Matcher {
     scan(data, sink);
     return sink.sorted();
   }
+
+ private:
+  std::uint64_t scratch_owner_id_ = next_scratch_owner_id();
 };
 
 using MatcherPtr = std::unique_ptr<Matcher>;

@@ -7,10 +7,18 @@ namespace vpm::pattern {
 
 namespace {
 
-constexpr char kMagic[8] = {'V', 'P', 'M', 'D', 'B', '1', 0, 0};
+constexpr char kMagicV1[8] = {'V', 'P', 'M', 'D', 'B', '1', 0, 0};
+constexpr char kMagicV2[8] = {'V', 'P', 'M', 'D', 'B', '2', 0, 0};
+// v2 preamble after the magic: version u32 | hint u8 | reserved u8[3] |
+// fingerprint u64 | count u32.
+constexpr std::size_t kV2HeaderSize = 8 + 4 + 1 + 3 + 8 + 4;
 
 void put_u32(util::Bytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(util::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
 }
 
 std::uint32_t get_u32(const std::uint8_t* p) {
@@ -18,13 +26,12 @@ std::uint32_t get_u32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-}  // namespace
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
 
-util::Bytes serialize_patterns(const PatternSet& set) {
-  util::Bytes out;
-  // Byte-wise append: the iterator-range insert of a char[] into the empty
-  // vector trips GCC 12's -Wstringop-overflow false positive.
-  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+void append_patterns(util::Bytes& out, const PatternSet& set) {
   put_u32(out, static_cast<std::uint32_t>(set.size()));
   for (const Pattern& p : set) {
     put_u32(out, static_cast<std::uint32_t>(p.size()));
@@ -32,16 +39,10 @@ util::Bytes serialize_patterns(const PatternSet& set) {
     out.push_back(static_cast<std::uint8_t>(p.group));
     out.insert(out.end(), p.bytes.begin(), p.bytes.end());
   }
-  return out;
 }
 
-PatternSet deserialize_patterns(util::ByteView data) {
-  if (data.size() < 12 || std::memcmp(data.data(), kMagic, 8) != 0) {
-    throw std::invalid_argument("pattern db: bad magic");
-  }
-  const std::uint32_t count = get_u32(data.data() + 8);
+PatternSet parse_patterns(util::ByteView data, std::size_t off, std::uint32_t count) {
   PatternSet set;
-  std::size_t off = 12;
   for (std::uint32_t i = 0; i < count; ++i) {
     if (off + 6 > data.size()) throw std::invalid_argument("pattern db: truncated header");
     const std::uint32_t len = get_u32(data.data() + off);
@@ -60,6 +61,50 @@ PatternSet deserialize_patterns(util::ByteView data) {
     off += len;
   }
   return set;
+}
+
+}  // namespace
+
+util::Bytes serialize_patterns(const PatternSet& set) {
+  util::Bytes out;
+  // Byte-wise append: the iterator-range insert of a char[] into the empty
+  // vector trips GCC 12's -Wstringop-overflow false positive.
+  for (const char c : kMagicV1) out.push_back(static_cast<std::uint8_t>(c));
+  append_patterns(out, set);
+  return out;
+}
+
+util::Bytes serialize_patterns(const PatternSet& set, const DbHeader& header) {
+  util::Bytes out;
+  for (const char c : kMagicV2) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, 2);
+  out.push_back(header.algorithm_hint);
+  for (int i = 0; i < 3; ++i) out.push_back(0);  // reserved
+  put_u64(out, header.fingerprint);
+  append_patterns(out, set);
+  return out;
+}
+
+PatternSet deserialize_patterns(util::ByteView data, DbHeader* header) {
+  if (data.size() >= 8 && std::memcmp(data.data(), kMagicV1, 8) == 0) {
+    if (data.size() < 12) throw std::invalid_argument("pattern db: truncated header");
+    if (header != nullptr) *header = DbHeader{1, kNoAlgorithmHint, 0};
+    return parse_patterns(data, 12, get_u32(data.data() + 8));
+  }
+  if (data.size() >= 8 && std::memcmp(data.data(), kMagicV2, 8) == 0) {
+    if (data.size() < kV2HeaderSize) {
+      throw std::invalid_argument("pattern db: truncated header");
+    }
+    const std::uint32_t version = get_u32(data.data() + 8);
+    if (version != 2) throw std::invalid_argument("pattern db: unsupported version");
+    if (header != nullptr) {
+      header->version = version;
+      header->algorithm_hint = data[12];
+      header->fingerprint = get_u64(data.data() + 16);
+    }
+    return parse_patterns(data, kV2HeaderSize, get_u32(data.data() + 24));
+  }
+  throw std::invalid_argument("pattern db: bad magic");
 }
 
 }  // namespace vpm::pattern

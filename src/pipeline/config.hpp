@@ -34,6 +34,8 @@ inline std::uint64_t flow_key(const net::FiveTuple& tuple) { return tuple.hash()
 enum class BackpressurePolicy : std::uint8_t { block, drop };
 
 struct PipelineConfig {
+  // Engine for the legacy PatternSet constructor only; the DatabasePtr
+  // constructor takes the algorithm from the compiled database.
   core::Algorithm algorithm = core::Algorithm::vpatch;
   unsigned workers = 2;              // shard / worker-thread count (>= 1)
   std::size_t batch_packets = 32;    // packets per batch before a ring push

@@ -1,22 +1,59 @@
 #include "pipeline/runtime.hpp"
 
 #include <stdexcept>
+#include <thread>
 
 namespace vpm::pipeline {
 
-PipelineRuntime::PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg)
+PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg)
     : cfg_(cfg) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.batch_packets == 0) cfg_.batch_packets = 1;
+  rules_channel_.set_initial(rules);
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(rules, cfg_));
+    workers_.push_back(std::make_unique<Worker>(rules, cfg_, &rules_channel_));
   }
   std::vector<ShardRouter::Ring*> rings;
   rings.reserve(workers_.size());
   for (auto& w : workers_) rings.push_back(&w->ring());
   router_ = std::make_unique<ShardRouter>(std::move(rings), cfg_.batch_packets,
                                           cfg_.backpressure);
+}
+
+PipelineRuntime::PipelineRuntime(DatabasePtr db, PipelineConfig cfg)
+    : PipelineRuntime(std::make_shared<const ids::GroupedRules>(std::move(db)), cfg) {}
+
+PipelineRuntime::PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg)
+    // Legacy shim: generation-0 rules, matching the legacy single-threaded
+    // IdsEngine(rules, cfg) reference alert-for-alert.
+    : PipelineRuntime(std::make_shared<const ids::GroupedRules>(rules, cfg.algorithm),
+                      cfg) {}
+
+void PipelineRuntime::swap_database(DatabasePtr db) {
+  if (db == nullptr) {
+    throw std::invalid_argument("PipelineRuntime::swap_database: null database");
+  }
+  // Control-plane compile; the scan path never blocks on it.  publish()
+  // orders the slot write before the seq bump, pairing with the workers'
+  // seq-then-slot reads: observing the bump implies observing the rules.
+  rules_channel_.publish(std::make_shared<const ids::GroupedRules>(std::move(db)));
+}
+
+std::uint64_t PipelineRuntime::generation() const {
+  const ids::GroupedRulesPtr rules = rules_channel_.current();
+  return rules != nullptr ? rules->generation() : 0;
+}
+
+void PipelineRuntime::quiesce() {
+  if (!running_) return;
+  router_->flush();
+  for (;;) {
+    std::uint64_t processed = 0;
+    for (const auto& w : workers_) processed += w->stats().packets;
+    if (processed >= router_->routed()) return;
+    std::this_thread::yield();
+  }
 }
 
 PipelineRuntime::~PipelineRuntime() {

@@ -1,13 +1,15 @@
 // The sharded multi-worker IDS runtime.
 //
 // Usage:
+//   auto db = vpm::compile(core::Algorithm::vpatch, rules);  // rules may die
 //   pipeline::PipelineConfig cfg;
 //   cfg.workers = 4;
-//   pipeline::PipelineRuntime rt(rules, cfg);
+//   pipeline::PipelineRuntime rt(db, cfg);
 //   rt.start();
 //   for (net::Packet& p : packets) rt.submit(std::move(p));
+//   rt.swap_database(new_db);        // zero-drop ruleset hot-swap, any time
 //   rt.stop();                       // flush + drain + join
-//   use rt.alerts(), rt.stats();
+//   use rt.alerts(), rt.stats();     // alerts carry their ruleset generation
 //
 // Determinism contract: with eviction and the drop policy disabled, the
 // union of all workers' alerts is the same multiset a single-threaded
@@ -15,6 +17,18 @@
 // (flow ids are flow_key(tuple) in both cases) — flows never split across
 // workers and per-flow order is preserved through the FIFO rings.  The
 // differential test suite enforces this across worker counts and algorithms.
+//
+// Hot-swap contract: swap_database() compiles the new grouped ruleset on the
+// calling thread (control plane), publishes it RCU-style (shared_ptr store +
+// sequence bump; no locks on the scan path), and every worker adopts it at a
+// batch boundary.  No packet is dropped by a swap: packets in flight finish
+// under the generation that was current when their batch was popped, and
+// every alert is tagged with the generation that produced it.  A swap is a
+// clean stream boundary (per-flow carry resets), so a pattern spanning the
+// swap point is attributed to neither generation.  The old generation's
+// compiled tables are freed when the last worker adopts the new one.  For an
+// exact packet partition between generations, quiesce() before swapping —
+// pipeline_swap_test pins that recipe against single-threaded references.
 #pragma once
 
 #include <atomic>
@@ -22,6 +36,7 @@
 #include <span>
 #include <vector>
 
+#include "core/database.hpp"
 #include "ids/alert.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/shard_router.hpp"
@@ -32,9 +47,19 @@ namespace vpm::pipeline {
 
 class PipelineRuntime {
  public:
-  // Builds one engine per worker over `rules` (which must outlive the
-  // runtime).  Worker counts are clamped to >= 1.
+  // Builds the shared grouped ruleset from `db` (one compile, shared
+  // read-only by every worker — not one compile per worker) and one
+  // reassembler/engine pair per worker.  cfg.algorithm is ignored on this
+  // path (the database fixes the engine).  Worker counts are clamped to
+  // >= 1.
+  PipelineRuntime(DatabasePtr db, PipelineConfig cfg = {});
+
+  // Legacy shim: compiles from a caller-owned PatternSet with
+  // cfg.algorithm; the set is copied during construction and not referenced
+  // afterwards.  Alerts carry generation 0 on this path (matching the
+  // legacy single-threaded IdsEngine(rules, cfg) reference).
   PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg = {});
+
   ~PipelineRuntime();  // stops and joins if still running
 
   PipelineRuntime(const PipelineRuntime&) = delete;
@@ -60,6 +85,24 @@ class PipelineRuntime {
   // Pushes partially filled batches without stopping.
   void flush();
 
+  // Publishes a new compiled database to every worker (zero-drop ruleset
+  // hot-swap).  Compiles the grouped ruleset here, on the calling thread;
+  // workers adopt at their next batch boundary.  Callable from any thread,
+  // before or while running; with concurrent callers the last publication
+  // wins.  Throws std::invalid_argument on a null database.
+  void swap_database(DatabasePtr db);
+
+  // The most recently published ruleset generation (workers may briefly lag
+  // until their next batch boundary; per-worker adoption is visible in
+  // stats().workers[i].rules_generation).
+  std::uint64_t generation() const;
+
+  // Blocks until every packet submitted so far has been consumed from the
+  // rings (flushes partial batches first).  Same single-producer rule as
+  // submit().  The quiesce-then-swap recipe gives an exact packet partition
+  // between ruleset generations.
+  void quiesce();
+
   // Drains: flushes, lets every worker consume its ring to empty, joins the
   // threads, and gathers alerts.  Idempotent.
   void stop();
@@ -77,7 +120,10 @@ class PipelineRuntime {
   const std::vector<ids::Alert>& alerts() const { return alerts_; }
 
  private:
+  PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg);
+
   PipelineConfig cfg_;
+  RulesChannel rules_channel_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ShardRouter> router_;
   std::vector<ids::Alert> alerts_;

@@ -24,6 +24,8 @@ struct WorkerStats {
   std::uint64_t reassembly_drops = 0;
   std::uint64_t duplicate_bytes_trimmed = 0;
   std::uint64_t active_flows = 0;    // engine flows currently holding state
+  std::uint64_t rules_generation = 0;  // ruleset generation this worker runs
+  std::uint64_t rules_swaps = 0;       // hot-swaps this worker has adopted
 
   WorkerStats& operator+=(const WorkerStats& o) {
     packets += o.packets;
@@ -37,6 +39,11 @@ struct WorkerStats {
     reassembly_drops += o.reassembly_drops;
     duplicate_bytes_trimmed += o.duplicate_bytes_trimmed;
     active_flows += o.active_flows;
+    // Generations don't sum: totals report the newest generation any worker
+    // has adopted (and the max swap count — workers adopt independently).
+    rules_generation = rules_generation > o.rules_generation ? rules_generation
+                                                             : o.rules_generation;
+    rules_swaps = rules_swaps > o.rules_swaps ? rules_swaps : o.rules_swaps;
     return *this;
   }
 };

@@ -6,7 +6,8 @@
 
 namespace vpm::pipeline {
 
-Worker::Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg)
+Worker::Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
+               const RulesChannel* swaps)
     : cfg_(cfg),
       ring_(cfg.ring_batches > 0 ? cfg.ring_batches : 1),
       reassembler_(
@@ -20,8 +21,11 @@ Worker::Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg)
                           *sink_);
           },
           cfg.reassembly),
-      engine_(rules, {cfg.algorithm}),
-      sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_) {}
+      engine_(std::move(rules)),
+      sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_),
+      swaps_(swaps) {
+  published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
+}
 
 Worker::~Worker() {
   if (thread_.joinable()) {
@@ -43,15 +47,25 @@ void Worker::run() {
   unsigned idle_spins = 0;
   for (;;) {
     if (ring_.try_pop(batch)) {
+      // Adopt AFTER the pop: the producer publishes a new generation before
+      // pushing any batch meant for it, and the ring's release-push /
+      // acquire-pop edge makes that publication visible here — so a batch
+      // is never scanned under rules older than those current when it was
+      // pushed.
+      maybe_adopt_rules();
       process(batch);
       batch.clear();
       idle_spins = 0;
       continue;
     }
+    // Idle: adopt promptly so a swap during a traffic lull does not wait
+    // for the next packet.
+    maybe_adopt_rules();
     // The producer sets done_ only after flushing, so an empty ring observed
     // AFTER the done_ load means there is nothing left to drain.
     if (done_.load(std::memory_order_acquire)) {
       if (ring_.try_pop(batch)) {
+        maybe_adopt_rules();
         process(batch);
         batch.clear();
         continue;
@@ -64,6 +78,23 @@ void Worker::run() {
     }
   }
   publish_stats();
+}
+
+void Worker::maybe_adopt_rules() {
+  if (swaps_ == nullptr) return;
+  // Lock-free fast path: one acquire load per loop iteration; the slot
+  // mutex is touched only when a publication actually happened.
+  const std::uint64_t seq = swaps_->sequence();
+  if (seq == adopted_seq_) return;
+  ids::GroupedRulesPtr rules = swaps_->current();
+  adopted_seq_ = seq;
+  if (rules == nullptr || rules == engine_.rules_ptr()) return;
+  // Flushes staged chunks under the old generation, then retires this
+  // worker's reference to it (the last adopter destroys it).
+  engine_.swap_rules(std::move(rules), *sink_);
+  ++swaps_adopted_;
+  published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
+  published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
 }
 
 void Worker::process(PacketBatch& batch) {
@@ -129,6 +160,8 @@ void Worker::publish_stats() {
   published_.duplicate_bytes_trimmed.store(reassembler_.duplicate_bytes_trimmed(),
                                            std::memory_order_relaxed);
   published_.active_flows.store(engine_.active_flows(), std::memory_order_relaxed);
+  published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
+  published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
 }
 
 WorkerStats Worker::stats() const {
@@ -145,6 +178,8 @@ WorkerStats Worker::stats() const {
   s.duplicate_bytes_trimmed =
       published_.duplicate_bytes_trimmed.load(std::memory_order_relaxed);
   s.active_flows = published_.active_flows.load(std::memory_order_relaxed);
+  s.rules_generation = published_.rules_generation.load(std::memory_order_relaxed);
+  s.rules_swaps = published_.rules_swaps.load(std::memory_order_relaxed);
   return s;
 }
 

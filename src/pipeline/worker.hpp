@@ -1,15 +1,29 @@
 // One pipeline shard: a consumer thread owning a private TcpReassembler +
 // IdsEngine pair, fed packet batches through an SPSC ring.
 //
-// Shared-nothing by construction: the worker's flow tables, scanners, and
-// alert buffer are touched only by its thread; the ring and the atomic
-// counter mirror are the only cross-thread state.  Flow ids are the stable
+// Shared-nothing on the hot path: the worker's flow tables, scratch, and
+// alert buffer are touched only by its thread; the ring, the atomic counter
+// mirror, and the read-only shared compiled ruleset (GroupedRulesPtr — one
+// instance per generation, shared by every worker instead of compiled per
+// worker) are the only cross-thread state.  Flow ids are the stable
 // flow_key (tuple hash), so a worker's alerts are bitwise what a
 // single-threaded engine would emit for the same flows.
+//
+// Ruleset hot-swap (RCU-style): the runtime publishes a new generation into
+// the shared RulesChannel (shared_ptr slot + sequence counter).  Each worker
+// polls the sequence — one lock-free atomic load per loop iteration; the
+// scan path never takes a lock — and adopts the new rules at a batch
+// boundary: after popping a batch and before processing it, or while idle.
+// The ring's release-push/acquire-pop pairing guarantees a batch pushed
+// after a publish is never processed under the old rules.  The old
+// generation is retired (destroyed) when the last worker drops its
+// reference.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -22,11 +36,50 @@
 
 namespace vpm::pipeline {
 
+// The ruleset publication slot shared by the runtime (writer) and every
+// worker (reader).  The lock-free seq gate is what workers poll on the scan
+// path; the shared_ptr slot itself is mutex-guarded (touched only on
+// publish and on the rare adoption after seq changed — not std::atomic<
+// shared_ptr>, whose libstdc++ lock-bit protocol ThreadSanitizer cannot see
+// through and reports as a race).  Writer order: slot under the mutex, then
+// seq bump (release); readers load seq (acquire), then the slot — observing
+// the bump therefore implies observing the new rules.
+class RulesChannel {
+ public:
+  std::uint64_t sequence() const { return seq_.load(std::memory_order_acquire); }
+
+  ids::GroupedRulesPtr current() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slot_;
+  }
+
+  // Publishes without bumping seq (the initial ruleset workers are born
+  // with).
+  void set_initial(ids::GroupedRulesPtr rules) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot_ = std::move(rules);
+  }
+
+  void publish(ids::GroupedRulesPtr rules) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot_ = std::move(rules);
+    }
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  ids::GroupedRulesPtr slot_;
+  std::atomic<std::uint64_t> seq_{0};
+};
+
 class Worker {
  public:
-  // Builds this shard's engine over `rules` (each worker gets its own
-  // matchers; `rules` must outlive the worker).
-  Worker(const pattern::PatternSet& rules, const PipelineConfig& cfg);
+  // Adopts `rules` (a shared compiled ruleset; no per-worker compile) and
+  // watches `swaps` (may be null: hot-swap disabled) for new generations.
+  Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
+         const RulesChannel* swaps = nullptr);
   ~Worker();
 
   Worker(const Worker&) = delete;
@@ -49,6 +102,7 @@ class Worker {
 
  private:
   void run();
+  void maybe_adopt_rules();
   void process(PacketBatch& batch);
   void handle_packet(net::Packet& packet);
   void sweep_idle();
@@ -61,6 +115,10 @@ class Worker {
   std::vector<ids::Alert> alerts_;
   ids::AlertBuffer buffer_sink_{alerts_};
   ids::AlertSink* sink_;  // cfg_.alert_sink or &buffer_sink_
+
+  // Hot-swap subscription (worker-thread reads; runtime writes).
+  const RulesChannel* swaps_;
+  std::uint64_t adopted_seq_ = 0;
 
   // Worker-thread-local bookkeeping.
   std::uint64_t virtual_now_us_ = 0;  // max packet timestamp seen
@@ -82,9 +140,12 @@ class Worker {
     std::atomic<std::uint64_t> reassembly_drops{0};
     std::atomic<std::uint64_t> duplicate_bytes_trimmed{0};
     std::atomic<std::uint64_t> active_flows{0};
+    std::atomic<std::uint64_t> rules_generation{0};
+    std::atomic<std::uint64_t> rules_swaps{0};
   };
   AtomicStats published_;
   std::uint64_t evicted_ = 0;  // engine+reassembler evictions (thread-local)
+  std::uint64_t swaps_adopted_ = 0;
 
   std::atomic<bool> done_{false};
   std::thread thread_;

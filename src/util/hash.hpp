@@ -41,6 +41,29 @@ constexpr std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n,
   return h;
 }
 
+// 64-bit FNV-1a, used for content fingerprints (the compiled-database id
+// that survives serialization; collisions must be rare across rule sets).
+inline constexpr std::uint64_t kFnv64Seed = 0xCBF29CE484222325ull;
+constexpr std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n,
+                                std::uint64_t seed = kFnv64Seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+// Folds a 64-bit value into a running fnv1a64 state byte-by-byte (LE).
+constexpr std::uint64_t fnv1a64_u64(std::uint64_t v, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
 // 64-bit mix (splitmix64 finalizer) for RNG seeding and test fixtures.
 constexpr std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;

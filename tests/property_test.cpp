@@ -259,5 +259,64 @@ TEST(Serialize, RejectsInvalidGroup) {
   EXPECT_THROW(deserialize_patterns(bytes), std::invalid_argument);
 }
 
+TEST(Serialize, V2RoundTripsHeaderAndPatterns) {
+  RulesetConfig cfg;
+  cfg.count = 150;
+  cfg.seed = testutil::case_seed(143);
+  const PatternSet original = generate_ruleset(cfg);
+  DbHeader header;
+  header.algorithm_hint = 7;
+  header.fingerprint = 0xDEADBEEFCAFEF00Dull;
+  const auto bytes = serialize_patterns(original, header);
+
+  DbHeader parsed;
+  const PatternSet loaded = deserialize_patterns(bytes, &parsed);
+  EXPECT_EQ(parsed.version, 2u);
+  EXPECT_EQ(parsed.algorithm_hint, 7);
+  EXPECT_EQ(parsed.fingerprint, 0xDEADBEEFCAFEF00Dull);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::uint32_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].bytes, original[i].bytes) << i;
+    EXPECT_EQ(loaded[i].nocase, original[i].nocase) << i;
+    EXPECT_EQ(loaded[i].group, original[i].group) << i;
+  }
+}
+
+TEST(Serialize, V1InputsReportLegacyHeader) {
+  PatternSet set;
+  set.add("legacy");
+  DbHeader parsed;
+  parsed.version = 99;  // must be overwritten
+  const PatternSet loaded = deserialize_patterns(serialize_patterns(set), &parsed);
+  EXPECT_EQ(parsed.version, 1u);
+  EXPECT_EQ(parsed.algorithm_hint, kNoAlgorithmHint);
+  EXPECT_EQ(parsed.fingerprint, 0u);
+  EXPECT_EQ(loaded.size(), 1u);
+}
+
+TEST(Serialize, V2RejectsTruncationAtEveryPrefix) {
+  PatternSet set;
+  set.add("pattern-one", true, Group::http);
+  set.add("p2");
+  const auto bytes = serialize_patterns(set, DbHeader{});
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(deserialize_patterns(util::ByteView(bytes.data(), cut)),
+                 std::invalid_argument)
+        << "cut=" << cut;
+  }
+}
+
+TEST(Serialize, V2RejectsBadMagicAndVersion) {
+  PatternSet set;
+  set.add("x");
+  auto bytes = serialize_patterns(set, DbHeader{});
+  auto bad_magic = bytes;
+  bad_magic[5] = '3';  // "VPMDB3" — an unknown future magic, not v1/v2
+  EXPECT_THROW(deserialize_patterns(bad_magic), std::invalid_argument);
+  auto bad_version = bytes;
+  bad_version[8] = 3;  // v2 magic but an unsupported version field
+  EXPECT_THROW(deserialize_patterns(bad_version), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace vpm::pattern
