@@ -6,7 +6,12 @@
 // deployed sensor would see, unlike the matcher-only figure benches.
 //
 //   pipeline_throughput [--mb=N] [--runs=N] [--seed=N] [--quick] [--json=FILE]
-//                       [--flows=N] [--reorder=PCT]
+//                       [--flows=N] [--reorder=PCT] [--evasion]
+//
+// --evasion switches the generator to the adversarial corpus (handshakes,
+// wrap-adjacent ISNs, conflicting retransmits, keep-alive probes,
+// bidirectional streams, FIN/RST teardown) — a soak of the reassembler's
+// slow paths under load rather than a best-case segment stream.
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -24,11 +29,14 @@ int main_impl(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   std::size_t flow_count = 32;
   double reorder = 0.05;
+  bool evasion = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--flows=", 8) == 0) {
       flow_count = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     } else if (std::strncmp(argv[i], "--reorder=", 10) == 0) {
       reorder = std::strtod(argv[i] + 10, nullptr) / 100.0;
+    } else if (std::strcmp(argv[i], "--evasion") == 0) {
+      evasion = true;
     }
   }
   if (flow_count == 0) flow_count = 1;
@@ -40,14 +48,16 @@ int main_impl(int argc, char** argv) {
   fcfg.bytes_per_flow = std::max<std::size_t>((opt.trace_mb << 20) / flow_count, 1 << 16);
   fcfg.reorder_fraction = reorder;
   fcfg.seed = opt.seed + 40;
+  fcfg.evasion = evasion;
   const auto flows = net::generate_flows(fcfg);
   std::uint64_t payload_bytes = 0;
   for (const auto& p : flows.packets) payload_bytes += p.payload.size();
 
   std::printf("=== Pipeline throughput: %zu patterns, %zu flows x %zu KB, %zu packets "
-              "(%.0f%% reordered), %u hw threads ===\n",
+              "(%.0f%% reordered%s), %u hw threads ===\n",
               rules.size(), flow_count, fcfg.bytes_per_flow >> 10, flows.packets.size(),
-              reorder * 100, std::thread::hardware_concurrency());
+              reorder * 100, evasion ? ", evasion corpus" : "",
+              std::thread::hardware_concurrency());
   const std::vector<int> widths{22, 10, 12, 12, 12, 12};
   print_row({"algorithm", "workers", "Gbps", "stddev", "scaling", "alerts"}, widths);
 

@@ -16,6 +16,9 @@
 //                                                the zero-drop ruleset reload
 //                                                path, end to end (alerts are
 //                                                tagged per generation)
+//   ./pcap_sensor --overlap-policy=NAME ...      TCP segment-overlap policy:
+//                                                first|last|target_bsd|
+//                                                target_linux (default first)
 //
 // Demo mode synthesizes HTTP flows (with deliberately reordered segments and
 // planted attack payloads), writes a well-formed pcap to a temp file, then
@@ -45,7 +48,7 @@ using namespace vpm;
 
 int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
                 unsigned workers, std::size_t batch_packets, core::Algorithm algo,
-                std::size_t swap_after) {
+                std::size_t swap_after, net::ReassemblyConfig reassembly) {
   auto parsed = net::read_pcap(pcap_bytes);
 
   // Compile once, share everywhere: the database owns its pattern copy and
@@ -54,6 +57,7 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 
   pipeline::PipelineConfig cfg;
   cfg.workers = workers;
+  cfg.reassembly = reassembly;
   if (batch_packets > 0) cfg.batch_packets = batch_packets;
   pipeline::PipelineRuntime rt(db, cfg);
   rt.start();
@@ -102,6 +106,17 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
               parsed.skipped_records,
               static_cast<unsigned long long>(totals.flows_seen),
               static_cast<unsigned long long>(totals.reassembly_drops));
+  std::printf("reassembly [%s]: c2s %llu B, s2c %llu B, overlap trimmed %llu B, "
+              "overwritten %llu B, connections %llu started / %llu ended, "
+              "discarded on close %llu B\n",
+              net::overlap_policy_name(reassembly.overlap),
+              static_cast<unsigned long long>(totals.c2s_delivered_bytes),
+              static_cast<unsigned long long>(totals.s2c_delivered_bytes),
+              static_cast<unsigned long long>(totals.duplicate_bytes_trimmed),
+              static_cast<unsigned long long>(totals.overwritten_bytes),
+              static_cast<unsigned long long>(totals.connections_started),
+              static_cast<unsigned long long>(totals.connections_ended),
+              static_cast<unsigned long long>(totals.discarded_on_close_bytes));
   for (std::size_t w = 0; w < stats.workers.size(); ++w) {
     std::printf("  worker %zu: %llu pkts, %llu flows, %llu alerts\n", w,
                 static_cast<unsigned long long>(stats.workers[w].packets),
@@ -121,9 +136,9 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 }
 
 int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-        core::Algorithm algo) {
+        core::Algorithm algo, net::ReassemblyConfig reassembly) {
   util::Timer timer;
-  const auto result = ids::inspect_pcap(pcap_bytes, rules, {algo});
+  const auto result = ids::inspect_pcap(pcap_bytes, rules, {algo}, reassembly);
   const double secs = timer.seconds();
 
   std::printf("packets: %zu (skipped %zu), flows: %llu, reassembly drops: %llu, "
@@ -132,6 +147,22 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
               static_cast<unsigned long long>(result.counters.flows),
               static_cast<unsigned long long>(result.reassembly_drops),
               static_cast<unsigned long long>(result.duplicate_bytes_trimmed));
+  const net::ReassemblyStats& rs = result.reassembly;
+  std::printf("reassembly [%s]: c2s %llu B in %llu chunks, s2c %llu B in %llu "
+              "chunks, overwritten %llu B, connections %llu started / %llu ended "
+              "(%llu fins, %llu resets), discarded on close %llu B\n",
+              net::overlap_policy_name(reassembly.overlap),
+              static_cast<unsigned long long>(rs.side[0].delivered_bytes),
+              static_cast<unsigned long long>(rs.side[0].chunks),
+              static_cast<unsigned long long>(rs.side[1].delivered_bytes),
+              static_cast<unsigned long long>(rs.side[1].chunks),
+              static_cast<unsigned long long>(rs.side[0].overwritten_bytes +
+                                              rs.side[1].overwritten_bytes),
+              static_cast<unsigned long long>(rs.connections_started),
+              static_cast<unsigned long long>(rs.connections_ended),
+              static_cast<unsigned long long>(rs.fins),
+              static_cast<unsigned long long>(rs.resets),
+              static_cast<unsigned long long>(rs.discarded_on_close_bytes));
   std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps incl. reassembly, "
               "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(result.counters.bytes_inspected), secs,
@@ -145,7 +176,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 }
 
 int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo,
-             std::size_t swap_after) {
+             std::size_t swap_after, net::ReassemblyConfig reassembly) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -184,8 +215,9 @@ int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo,
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo, swap_after)
-                     : run(pcap, rules, algo);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo,
+                                   swap_after, reassembly)
+                     : run(pcap, rules, algo, reassembly);
 }
 
 // The engine list is the factory's advertised contract for THIS CPU (vector
@@ -203,11 +235,13 @@ std::string algo_names() {
 void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--swap-after=N] "
-               "<capture.pcap> [rules.rules]  |  %s --demo\n"
+               "[--overlap-policy=NAME] <capture.pcap> [rules.rules]  |  %s --demo\n"
                "  --algo=NAME      matcher engine (default v-patch); available on "
                "this CPU:\n                   %s\n"
                "  --swap-after=N   with --workers: hot-swap to a recompiled "
-               "database after N packets\n",
+               "database after N packets\n"
+               "  --overlap-policy=NAME  segment-overlap arbitration: "
+               "first|last|target_bsd|target_linux (default first)\n",
                prog, prog, algo_names().c_str());
 }
 
@@ -218,6 +252,7 @@ int main(int argc, char** argv) {
   std::size_t batch_packets = 0;  // 0 = PipelineConfig default
   std::size_t swap_after = 0;     // 0 = no hot-swap
   core::Algorithm algo = core::Algorithm::vpatch;
+  net::ReassemblyConfig reassembly;
   bool demo = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -227,6 +262,16 @@ int main(int argc, char** argv) {
       batch_packets = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     } else if (std::strncmp(argv[i], "--swap-after=", 13) == 0) {
       swap_after = static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--overlap-policy=", 17) == 0) {
+      const auto policy = net::overlap_policy_from_name(argv[i] + 17);
+      if (!policy) {
+        std::fprintf(stderr,
+                     "unknown --overlap-policy=%s; expected "
+                     "first|last|target_bsd|target_linux\n",
+                     argv[i] + 17);
+        return 2;
+      }
+      reassembly.overlap = *policy;
     } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
       const auto parsed = core::algorithm_from_name(argv[i] + 7);
       if (!parsed || !core::algorithm_available(*parsed)) {
@@ -253,7 +298,7 @@ int main(int argc, char** argv) {
                  "note: --swap-after=N only affects the sharded pipeline; add "
                  "--workers=N\n");
   }
-  if (demo) return run_demo(workers, batch_packets, algo, swap_after);
+  if (demo) return run_demo(workers, batch_packets, algo, swap_after, reassembly);
   if (positional.empty()) {
     print_usage(argv[0]);
     return 2;
@@ -266,6 +311,7 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo, swap_after)
-                     : run(pcap, rules, algo);
+  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo,
+                                   swap_after, reassembly)
+                     : run(pcap, rules, algo, reassembly);
 }

@@ -23,7 +23,7 @@ pattern::Group classify_port(std::uint16_t dst_port) {
 }
 
 PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::PatternSet& rules,
-                                EngineConfig cfg) {
+                                EngineConfig cfg, net::ReassemblyConfig reassembly) {
   PcapPipelineResult result;
   const net::PcapParseResult parsed = net::read_pcap(pcap_bytes);
   result.packets = parsed.packets.size();
@@ -31,7 +31,8 @@ PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::Patter
 
   IdsEngine engine(rules, cfg);
 
-  // Dense flow ids per 5-tuple.
+  // Dense flow ids per directional 5-tuple: each side of a connection scans
+  // as its own stream.
   std::unordered_map<std::uint64_t, std::uint64_t> flow_ids;
   auto flow_id_of = [&](const net::FiveTuple& t) {
     const auto [it, inserted] = flow_ids.emplace(t.hash(), flow_ids.size());
@@ -39,10 +40,17 @@ PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::Patter
   };
 
   net::TcpReassembler reassembler(
-      [&](const net::FiveTuple& tuple, std::uint64_t /*stream_offset*/, util::ByteView chunk) {
-        engine.inspect(flow_id_of(tuple), classify_port(tuple.dst_port), chunk,
-                       result.alerts);
-      });
+      [&](const net::StreamChunk& chunk) {
+        engine.inspect(flow_id_of(chunk.tuple), classify_port(chunk.server_port),
+                       chunk.data, result.alerts);
+      },
+      reassembly);
+  // Connection end (FIN/RST/eviction) is a stream boundary: drop both
+  // sides' scanner state so a reused tuple starts a fresh stream.
+  reassembler.on_connection_end([&](const net::FiveTuple& client, net::EndReason) {
+    engine.close_flow(flow_id_of(client));
+    engine.close_flow(flow_id_of(client.reversed()));
+  });
 
   for (const net::Packet& p : parsed.packets) {
     if (p.tuple.proto == net::IpProto::tcp) {
@@ -57,6 +65,7 @@ PcapPipelineResult inspect_pcap(util::ByteView pcap_bytes, const pattern::Patter
   result.counters = engine.counters();
   result.reassembly_drops = reassembler.dropped_segments();
   result.duplicate_bytes_trimmed = reassembler.duplicate_bytes_trimmed();
+  result.reassembly = reassembler.stats();
   return result;
 }
 

@@ -7,6 +7,127 @@
 
 namespace vpm::net {
 
+namespace {
+
+Packet make_packet(const FiveTuple& t, std::uint32_t seq, std::uint8_t flags,
+                   util::Bytes payload, std::uint64_t ts) {
+  Packet p;
+  p.timestamp_us = ts;
+  p.tuple = t;
+  p.tcp_seq = seq;
+  p.tcp_flags = flags;
+  p.payload = std::move(payload);
+  return p;
+}
+
+// Adversarial packetization: the evasion corpus the reassembler must shrug
+// off.  Per connection: SYN / SYN|ACK handshake (data starts at ISN+1),
+// every third client (and offset server) ISN parked just below the 2^32 wrap
+// so the stream crosses it, occasional 1-byte segments, keep-alive probes one
+// byte below the next expected sequence (at offset 0 that is BEFORE the
+// window — the classic wedge the wrap-safe placement fixes), conflicting
+// retransmits of just-sent ranges filled with 'X' (emitted after the
+// original, so at reorder_fraction=0 the delivered bytes match the ground
+// truth under every overlap policy — the garbage hits the already-delivered
+// prefix, which is always first-wins), a server→client response stream
+// interleaved with the client's, and FIN teardown on both sides except every
+// fourth connection, which is torn down by a client RST.
+GeneratedFlows generate_evasion_flows(const FlowGenConfig& cfg,
+                                      GeneratedFlows&& seeded, util::Rng& rng) {
+  GeneratedFlows out = std::move(seeded);
+  const std::size_t n = cfg.flow_count;
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::size_t rev_bytes = std::max<std::size_t>(1, cfg.bytes_per_flow / 4);
+    out.reverse_streams.push_back(traffic::generate_http_trace(
+        traffic::iscx_day2_config(rev_bytes, cfg.seed * 1000 + 500 + f)));
+  }
+
+  std::vector<std::uint32_t> isn_c(n), isn_s(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    isn_c[f] = f % 3 == 0 ? 0xFFFFFF00u + static_cast<std::uint32_t>(rng() & 0xFF)
+                          : static_cast<std::uint32_t>(rng());
+    isn_s[f] = f % 3 == 1 ? 0xFFFFFFF0u + static_cast<std::uint32_t>(rng() & 0x0F)
+                          : static_cast<std::uint32_t>(rng());
+  }
+
+  std::uint64_t clock_us = 1'000'000;
+  auto tick = [&] {
+    const std::uint64_t t = clock_us;
+    clock_us += static_cast<std::uint64_t>(rng.between(5, 200));
+    return t;
+  };
+
+  // Handshakes first: the client SYN is the connection's first packet, so
+  // the reassembler pins that side as the client.
+  for (std::size_t f = 0; f < n; ++f) {
+    out.packets.push_back(make_packet(out.tuples[f], isn_c[f], kTcpSyn, {}, tick()));
+    out.packets.push_back(
+        make_packet(out.tuples[f].reversed(), isn_s[f], kTcpSyn | kTcpAck, {}, tick()));
+  }
+
+  // Data: round-robin across flows AND directions.
+  std::vector<std::size_t> c_cur(n, 0), s_cur(n, 0);
+  auto emit_side = [&](const FiveTuple& tuple, const util::Bytes& stream,
+                       std::uint32_t isn, std::size_t& cur) {
+    if (cur >= stream.size()) return false;
+    // Keep-alive probe: one garbage byte a sequence number below the next
+    // expected byte.  At cur == 0 this sits below the ISN+1 data base.
+    if (rng.chance(0.05)) {
+      out.packets.push_back(make_packet(
+          tuple, isn + static_cast<std::uint32_t>(cur), kTcpAck, {0x00}, tick()));
+    }
+    const std::size_t seg_len =
+        rng.chance(0.10)
+            ? 1
+            : std::min<std::size_t>({cfg.mss, stream.size() - cur,
+                                     static_cast<std::size_t>(rng.between(200, 1460))});
+    const std::uint32_t seq = isn + 1 + static_cast<std::uint32_t>(cur);
+    out.packets.push_back(make_packet(
+        tuple, seq, kTcpPsh | kTcpAck,
+        util::Bytes(stream.begin() + static_cast<long>(cur),
+                    stream.begin() + static_cast<long>(cur + seg_len)),
+        tick()));
+    // Conflicting retransmit: the same range again, but filled with 'X'.
+    if (rng.chance(0.15)) {
+      const std::size_t xlen =
+          std::min<std::size_t>(seg_len, static_cast<std::size_t>(rng.between(1, 64)));
+      out.packets.push_back(make_packet(tuple, seq, kTcpPsh | kTcpAck,
+                                        util::Bytes(xlen, 'X'), tick()));
+    }
+    cur += seg_len;
+    return true;
+  };
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      progressed |= emit_side(out.tuples[f], out.streams[f], isn_c[f], c_cur[f]);
+      progressed |=
+          emit_side(out.tuples[f].reversed(), out.reverse_streams[f], isn_s[f], s_cur[f]);
+    }
+  }
+
+  // Teardown: FIN both ways, except every fourth connection dies by RST.
+  for (std::size_t f = 0; f < n; ++f) {
+    const std::uint32_t c_end =
+        isn_c[f] + 1 + static_cast<std::uint32_t>(out.streams[f].size());
+    if (f % 4 == 3) {
+      out.packets.push_back(
+          make_packet(out.tuples[f], c_end, kTcpRst | kTcpAck, {}, tick()));
+      continue;
+    }
+    const std::uint32_t s_end =
+        isn_s[f] + 1 + static_cast<std::uint32_t>(out.reverse_streams[f].size());
+    out.packets.push_back(
+        make_packet(out.tuples[f], c_end, kTcpFin | kTcpAck, {}, tick()));
+    out.packets.push_back(
+        make_packet(out.tuples[f].reversed(), s_end, kTcpFin | kTcpAck, {}, tick()));
+  }
+  return out;
+}
+
+}  // namespace
+
 GeneratedFlows generate_flows(const FlowGenConfig& cfg) {
   GeneratedFlows out;
   util::Rng rng(cfg.seed);
@@ -22,6 +143,19 @@ GeneratedFlows generate_flows(const FlowGenConfig& cfg) {
     t.dst_port = cfg.dst_port;
     t.proto = IpProto::tcp;
     out.tuples.push_back(t);
+  }
+
+  if (cfg.evasion) {
+    GeneratedFlows evaded = generate_evasion_flows(cfg, std::move(out), rng);
+    if (cfg.reorder_fraction > 0.0) {
+      for (std::size_t i = 0; i + 1 < evaded.packets.size(); i += 2) {
+        if (rng.chance(cfg.reorder_fraction)) {
+          std::swap(evaded.packets[i], evaded.packets[i + 1]);
+          std::swap(evaded.packets[i].timestamp_us, evaded.packets[i + 1].timestamp_us);
+        }
+      }
+    }
+    return evaded;
   }
 
   // Segment + interleave round-robin.

@@ -18,6 +18,12 @@ struct FlowGenConfig {
   double reorder_fraction = 0.0;   // fraction of adjacent segment pairs swapped
   std::uint64_t seed = 1;
   std::uint16_t dst_port = 80;     // classifies the flows (80 -> http group)
+  // Adversarial mode: SYN/SYN|ACK handshakes, wrap-adjacent ISNs, 1-byte
+  // splits, keep-alive probes below the window, conflicting retransmits
+  // (garbage resent AFTER the original, so at reorder_fraction=0 the
+  // delivered streams still equal the ground truth under every overlap
+  // policy), server→client response streams, and FIN/RST teardown.
+  bool evasion = false;
 };
 
 // Builds `flow_count` server-bound flows from iscx-day2-style generated
@@ -26,8 +32,9 @@ struct FlowGenConfig {
 // flow's stream content is returned in `streams` for ground-truth checks.
 struct GeneratedFlows {
   std::vector<Packet> packets;
-  std::vector<util::Bytes> streams;
-  std::vector<FiveTuple> tuples;
+  std::vector<util::Bytes> streams;          // client→server ground truth
+  std::vector<util::Bytes> reverse_streams;  // server→client (evasion mode)
+  std::vector<FiveTuple> tuples;             // client→server direction
 };
 GeneratedFlows generate_flows(const FlowGenConfig& cfg);
 

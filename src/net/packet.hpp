@@ -7,12 +7,20 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "util/bytes.hpp"
 
 namespace vpm::net {
 
 enum class IpProto : std::uint8_t { tcp = 6, udp = 17 };
+
+// TCP flag bits (low byte of the TCP flags field, RFC 793 order).
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
 
 struct FiveTuple {
   std::uint32_t src_ip = 0;
@@ -23,7 +31,8 @@ struct FiveTuple {
 
   friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
 
-  // Stable hash for flow tables.
+  // Stable hash for flow tables.  Directional: the two directions of one
+  // connection hash differently (each side scans as its own stream).
   std::uint64_t hash() const {
     std::uint64_t h = src_ip;
     h = h * 0x100000001B3ull ^ dst_ip;
@@ -31,12 +40,32 @@ struct FiveTuple {
     h = h * 0x100000001B3ull ^ static_cast<std::uint8_t>(proto);
     return h;
   }
+
+  // The same tuple as seen by the opposite direction.
+  FiveTuple reversed() const {
+    FiveTuple r = *this;
+    std::swap(r.src_ip, r.dst_ip);
+    std::swap(r.src_port, r.dst_port);
+    return r;
+  }
+
+  // Direction-less connection identity: both directions of a connection
+  // canonicalize to the same tuple (endpoints ordered by (ip, port)).
+  FiveTuple canonical() const {
+    const bool swap = dst_ip < src_ip || (dst_ip == src_ip && dst_port < src_port);
+    return swap ? reversed() : *this;
+  }
+
+  // Symmetric flow-table/shard key: equal for both directions, so a
+  // connection's two sides always land together.
+  std::uint64_t conn_hash() const { return canonical().hash(); }
 };
 
 struct Packet {
   std::uint64_t timestamp_us = 0;
   FiveTuple tuple;
-  std::uint32_t tcp_seq = 0;  // sequence number of payload[0] (TCP only)
+  std::uint32_t tcp_seq = 0;      // sequence number of payload[0] (TCP only)
+  std::uint8_t tcp_flags = kTcpPsh | kTcpAck;  // TCP only; data-segment default
   util::Bytes payload;
 };
 

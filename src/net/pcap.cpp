@@ -91,7 +91,7 @@ util::Bytes write_pcap(const std::vector<Packet>& packets) {
       put_u32be(out, p.tcp_seq);
       put_u32be(out, 0);        // ack
       out.push_back(5 << 4);    // data offset 5 words
-      out.push_back(0x18);      // PSH|ACK
+      out.push_back(p.tcp_flags);
       put_u16be(out, 0xFFFF);   // window
       put_u16be(out, 0);        // checksum
       put_u16be(out, 0);        // urgent
@@ -160,6 +160,7 @@ PcapParseResult read_pcap(util::ByteView data) {
       pkt.tuple.src_port = get_u16be(l4);
       pkt.tuple.dst_port = get_u16be(l4 + 2);
       pkt.tcp_seq = get_u32be(l4 + 4);
+      pkt.tcp_flags = l4[13];
       pkt.payload.assign(l4 + data_off, l4 + l4_avail);
     } else {
       if (l4_avail < kUdpLen) { ++result.skipped_records; continue; }

@@ -22,10 +22,13 @@ namespace vpm::pipeline {
 // amortize queue synchronization over many small segments.
 using PacketBatch = std::vector<net::Packet>;
 
-// The pipeline's flow identity: the engine flow id every worker uses, and
-// the value the shard index is derived from — identical to what a
-// single-threaded reference over the same packets would compute, which is
-// what makes the sharded alert multiset comparable.
+// The pipeline's per-STREAM identity: the engine flow id every worker uses —
+// directional, so each side of a TCP connection scans as its own stream —
+// and identical to what a single-threaded reference over the same packets
+// would compute, which is what makes the sharded alert multiset comparable.
+// Sharding does NOT use this key: the shard index derives from the
+// direction-symmetric FiveTuple::conn_hash() so both sides of a connection
+// always land on the same worker (see shard_of).
 inline std::uint64_t flow_key(const net::FiveTuple& tuple) { return tuple.hash(); }
 
 // What the ingest side does when a worker's ring is full.

@@ -6,7 +6,9 @@ namespace vpm::pipeline {
 
 unsigned shard_of(const net::FiveTuple& tuple, unsigned shards) {
   if (shards <= 1) return 0;
-  std::uint64_t z = flow_key(tuple) + 0x9E3779B97F4A7C15ull;
+  // Symmetric over direction: both sides of a connection hash identically,
+  // so a bidirectional flow's reassembler state lives on one worker.
+  std::uint64_t z = tuple.conn_hash() + 0x9E3779B97F4A7C15ull;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
   z ^= z >> 31;

@@ -4,9 +4,10 @@
 // that is the whole determinism story of the pipeline: per-flow stream order
 // is preserved by construction (one FIFO ring per shard), and flows never
 // share mutable state across workers.  The shard index is derived from the
-// same 64-bit flow key the workers use for engine flow ids, so even two
-// tuples that collide in the key land on the same worker and behave exactly
-// as they would single-threaded.
+// direction-symmetric connection key (FiveTuple::conn_hash), so BOTH
+// directions of a TCP connection — and any two tuples that collide in the
+// key — land on the same worker and behave exactly as they would
+// single-threaded.
 #pragma once
 
 #include <atomic>

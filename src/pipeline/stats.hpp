@@ -22,7 +22,14 @@ struct WorkerStats {
   std::uint64_t flows_seen = 0;      // distinct flows the engine ever saw
   std::uint64_t flows_evicted = 0;   // idle evictions (engine + reassembler)
   std::uint64_t reassembly_drops = 0;
-  std::uint64_t duplicate_bytes_trimmed = 0;
+  std::uint64_t duplicate_bytes_trimmed = 0;  // overlap bytes the policy discarded
+  // Bidirectional reassembly: per-side delivery and lifecycle counters.
+  std::uint64_t c2s_delivered_bytes = 0;  // client→server bytes reassembled
+  std::uint64_t s2c_delivered_bytes = 0;  // server→client bytes reassembled
+  std::uint64_t overwritten_bytes = 0;    // buffered bytes replaced (last/target)
+  std::uint64_t discarded_on_close_bytes = 0;  // pending dropped by RST/close/evict
+  std::uint64_t connections_started = 0;
+  std::uint64_t connections_ended = 0;
   std::uint64_t active_flows = 0;    // engine flows currently holding state
   std::uint64_t rules_generation = 0;  // ruleset generation this worker runs
   std::uint64_t rules_swaps = 0;       // hot-swaps this worker has adopted
@@ -38,6 +45,12 @@ struct WorkerStats {
     flows_evicted += o.flows_evicted;
     reassembly_drops += o.reassembly_drops;
     duplicate_bytes_trimmed += o.duplicate_bytes_trimmed;
+    c2s_delivered_bytes += o.c2s_delivered_bytes;
+    s2c_delivered_bytes += o.s2c_delivered_bytes;
+    overwritten_bytes += o.overwritten_bytes;
+    discarded_on_close_bytes += o.discarded_on_close_bytes;
+    connections_started += o.connections_started;
+    connections_ended += o.connections_ended;
     active_flows += o.active_flows;
     // Generations don't sum: totals report the newest generation any worker
     // has adopted (and the max swap count — workers adopt independently).

@@ -11,19 +11,32 @@ Worker::Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
     : cfg_(cfg),
       ring_(cfg.ring_batches > 0 ? cfg.ring_batches : 1),
       reassembler_(
-          [this](const net::FiveTuple& tuple, std::uint64_t /*stream_offset*/,
-                 util::ByteView chunk) {
+          [this](const net::StreamChunk& chunk) {
             // Staged, not scanned: the chunk is copied into the flow's
             // stream buffer now (reassembler views die with this callback)
             // and scanned together with the rest of the batch in one
-            // scan_batch round per protocol group at flush time.
-            engine_.stage(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk,
-                          *sink_);
+            // scan_batch round per protocol group at flush time.  Flow id is
+            // the DIRECTIONAL tuple hash (each side scans as its own
+            // stream); classification uses the connection's server port so
+            // both directions hit the same rule group.
+            engine_.stage(flow_key(chunk.tuple), ids::classify_port(chunk.server_port),
+                          chunk.data, *sink_);
           },
           cfg.reassembly),
       engine_(std::move(rules)),
       sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_),
       swaps_(swaps) {
+  // Connection end (FIN completion, RST, close, eviction) is a stream
+  // boundary: scan anything still staged under the dying streams, then drop
+  // both sides' scanner state so a reused tuple starts a fresh stream.  This
+  // mirrors what the single-threaded reference does at the same packet, so
+  // the differential contract holds across lifecycle events.
+  reassembler_.on_connection_end(
+      [this](const net::FiveTuple& client, net::EndReason) {
+        if (engine_.staged_chunks() > 0) engine_.flush_batch(*sink_);
+        engine_.close_flow(flow_key(client));
+        engine_.close_flow(flow_key(client.reversed()));
+      });
   published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
 }
 
@@ -134,8 +147,9 @@ void Worker::handle_packet(net::Packet& packet) {
 }
 
 void Worker::sweep_idle() {
+  // Engine-side teardown happens in the reassembler's connection-end
+  // callback (both directions of each evicted connection).
   const auto evicted = reassembler_.evict_idle(virtual_now_us_, cfg_.idle_timeout_us);
-  for (const net::FiveTuple& tuple : evicted) engine_.close_flow(flow_key(tuple));
   evicted_ += evicted.size();
   for (auto it = udp_last_seen_.begin(); it != udp_last_seen_.end();) {
     if (it->second + cfg_.idle_timeout_us <= virtual_now_us_) {
@@ -155,10 +169,22 @@ void Worker::publish_stats() {
   published_.alerts.store(ec.alerts, std::memory_order_relaxed);
   published_.flows_seen.store(ec.flows, std::memory_order_relaxed);
   published_.flows_evicted.store(evicted_, std::memory_order_relaxed);
-  published_.reassembly_drops.store(reassembler_.dropped_segments(),
-                                    std::memory_order_relaxed);
-  published_.duplicate_bytes_trimmed.store(reassembler_.duplicate_bytes_trimmed(),
+  const net::ReassemblyStats& rs = reassembler_.stats();
+  published_.reassembly_drops.store(rs.dropped_segments, std::memory_order_relaxed);
+  published_.duplicate_bytes_trimmed.store(rs.overlap_bytes_trimmed(),
                                            std::memory_order_relaxed);
+  published_.c2s_delivered_bytes.store(rs.side[0].delivered_bytes,
+                                       std::memory_order_relaxed);
+  published_.s2c_delivered_bytes.store(rs.side[1].delivered_bytes,
+                                       std::memory_order_relaxed);
+  published_.overwritten_bytes.store(
+      rs.side[0].overwritten_bytes + rs.side[1].overwritten_bytes,
+      std::memory_order_relaxed);
+  published_.discarded_on_close_bytes.store(rs.discarded_on_close_bytes,
+                                            std::memory_order_relaxed);
+  published_.connections_started.store(rs.connections_started,
+                                       std::memory_order_relaxed);
+  published_.connections_ended.store(rs.connections_ended, std::memory_order_relaxed);
   published_.active_flows.store(engine_.active_flows(), std::memory_order_relaxed);
   published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
   published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
@@ -177,6 +203,13 @@ WorkerStats Worker::stats() const {
   s.reassembly_drops = published_.reassembly_drops.load(std::memory_order_relaxed);
   s.duplicate_bytes_trimmed =
       published_.duplicate_bytes_trimmed.load(std::memory_order_relaxed);
+  s.c2s_delivered_bytes = published_.c2s_delivered_bytes.load(std::memory_order_relaxed);
+  s.s2c_delivered_bytes = published_.s2c_delivered_bytes.load(std::memory_order_relaxed);
+  s.overwritten_bytes = published_.overwritten_bytes.load(std::memory_order_relaxed);
+  s.discarded_on_close_bytes =
+      published_.discarded_on_close_bytes.load(std::memory_order_relaxed);
+  s.connections_started = published_.connections_started.load(std::memory_order_relaxed);
+  s.connections_ended = published_.connections_ended.load(std::memory_order_relaxed);
   s.active_flows = published_.active_flows.load(std::memory_order_relaxed);
   s.rules_generation = published_.rules_generation.load(std::memory_order_relaxed);
   s.rules_swaps = published_.rules_swaps.load(std::memory_order_relaxed);

@@ -139,6 +139,12 @@ class Worker {
     std::atomic<std::uint64_t> flows_evicted{0};
     std::atomic<std::uint64_t> reassembly_drops{0};
     std::atomic<std::uint64_t> duplicate_bytes_trimmed{0};
+    std::atomic<std::uint64_t> c2s_delivered_bytes{0};
+    std::atomic<std::uint64_t> s2c_delivered_bytes{0};
+    std::atomic<std::uint64_t> overwritten_bytes{0};
+    std::atomic<std::uint64_t> discarded_on_close_bytes{0};
+    std::atomic<std::uint64_t> connections_started{0};
+    std::atomic<std::uint64_t> connections_ended{0};
     std::atomic<std::uint64_t> active_flows{0};
     std::atomic<std::uint64_t> rules_generation{0};
     std::atomic<std::uint64_t> rules_swaps{0};

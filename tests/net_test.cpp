@@ -25,11 +25,12 @@ FiveTuple tuple_a() {
 }
 
 Packet make_packet(const FiveTuple& t, std::uint32_t seq, std::string_view payload,
-                   std::uint64_t ts = 0) {
+                   std::uint64_t ts = 0, std::uint8_t flags = kTcpPsh | kTcpAck) {
   Packet p;
   p.timestamp_us = ts;
   p.tuple = t;
   p.tcp_seq = seq;
+  p.tcp_flags = flags;
   p.payload = util::to_bytes(payload);
   return p;
 }
@@ -101,10 +102,10 @@ struct Collected {
 };
 
 TcpReassembler::ChunkCallback collector(Collected& c) {
-  return [&c](const FiveTuple&, std::uint64_t off, util::ByteView chunk) {
-    c.offsets.push_back(off);
-    EXPECT_EQ(off, c.stream.size()) << "chunks must be delivered in order";
-    c.stream.insert(c.stream.end(), chunk.begin(), chunk.end());
+  return [&c](const StreamChunk& chunk) {
+    c.offsets.push_back(chunk.offset);
+    EXPECT_EQ(chunk.offset, c.stream.size()) << "chunks must be delivered in order";
+    c.stream.insert(c.stream.end(), chunk.data.begin(), chunk.data.end());
   };
 }
 
@@ -158,7 +159,7 @@ TEST(Reassembly, InitialSequenceIsPinnedPerFlow) {
 TEST(Reassembly, FlowsAreIndependent) {
   Collected c;
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; });
+  TcpReassembler r([&](const StreamChunk&) { ++chunks; });
   auto t1 = tuple_a();
   auto t2 = tuple_a();
   t2.src_port = 55555;
@@ -174,8 +175,7 @@ TEST(Reassembly, BufferBudgetDropsFloods) {
   ReassemblyLimits limits;
   limits.max_buffered_bytes = 64;
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; },
-                   limits);
+  TcpReassembler r([&](const StreamChunk&) { ++chunks; }, limits);
   const auto t = tuple_a();
   // Pin the initial sequence number, then flood with segments after a hole:
   // the 64-byte budget admits only the first four 16-byte segments.
@@ -189,7 +189,7 @@ TEST(Reassembly, BufferBudgetDropsFloods) {
 
 TEST(Reassembly, EvictIdleRemovesOnlyStaleFlows) {
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; });
+  TcpReassembler r([&](const StreamChunk&) { ++chunks; });
   auto stale = tuple_a();
   auto fresh = tuple_a();
   fresh.src_port = 55555;
@@ -211,9 +211,9 @@ TEST(Reassembly, EvictIdleRemovesOnlyStaleFlows) {
 TEST(Reassembly, EvictedFlowForgetsPendingAndRestartsClean) {
   std::string stream;
   std::vector<std::uint64_t> offsets;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t off, util::ByteView chunk) {
-    offsets.push_back(off);
-    stream += util::to_string(chunk);
+  TcpReassembler r([&](const StreamChunk& chunk) {
+    offsets.push_back(chunk.offset);
+    stream += util::to_string(chunk.data);
   });
   const auto t = tuple_a();
   r.ingest(make_packet(t, 100, "head", 10));
@@ -236,8 +236,7 @@ TEST(Reassembly, AdversarialChurnStaysBounded) {
   ReassemblyLimits limits;
   limits.max_buffered_bytes = 2048;
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; },
-                   limits);
+  TcpReassembler r([&](const StreamChunk&) { ++chunks; }, limits);
 
   constexpr std::uint32_t kFlows = 2000;
   std::size_t max_active = 0;
@@ -267,10 +266,221 @@ TEST(Reassembly, AdversarialChurnStaysBounded) {
 
 TEST(Reassembly, EmptyPayloadIgnored) {
   std::size_t chunks = 0;
-  TcpReassembler r([&](const FiveTuple&, std::uint64_t, util::ByteView) { ++chunks; });
+  TcpReassembler r([&](const StreamChunk&) { ++chunks; });
   r.ingest(make_packet(tuple_a(), 0, ""));
   EXPECT_EQ(chunks, 0u);
   EXPECT_EQ(r.active_flows(), 0u);
+}
+
+// ---- reassembly: evasion fixes and lifecycle ------------------------------------
+
+// Regression (seq-wrap stall): a segment one sequence number below the pinned
+// ISN — a TCP keep-alive probe, or a retransmit clipped by the capture — used
+// to compute stream offset ≈ 2^32 and wedge the flow behind an unfillable
+// hole.  Wrap-safe placement classifies it as before-window garbage instead.
+TEST(Reassembly, SeqJustBelowIsnIsBeforeWindowNotFarFuture) {
+  Collected c;
+  TcpReassembler r(collector(c));
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 1000, "hello"));
+  r.ingest(make_packet(t, 999, "K"));  // keep-alive probe below the window
+  r.ingest(make_packet(t, 1005, " world"));
+  EXPECT_EQ(util::to_string(c.stream), "hello world");
+  EXPECT_EQ(r.dropped_segments(), 0u);
+  EXPECT_EQ(r.active_flows(), 1u);
+}
+
+TEST(Reassembly, KeepAliveBelowWrappedIsnDoesNotStall) {
+  Collected c;
+  TcpReassembler r(collector(c));
+  const auto t = tuple_a();
+  // SYN at ISN 2^32-1: stream byte 0 lives at sequence 0 (wrapped).
+  r.ingest(make_packet(t, 0xFFFFFFFFu, "", 0, kTcpSyn));
+  r.ingest(make_packet(t, 0, "first"));
+  r.ingest(make_packet(t, 0xFFFFFFFFu, "K", 0, kTcpAck));  // probe below the wrap
+  r.ingest(make_packet(t, 5, "second"));
+  EXPECT_EQ(util::to_string(c.stream), "firstsecond");
+  EXPECT_EQ(r.dropped_segments(), 0u);
+}
+
+// Regression (duplicate-offset data loss): a longer retransmit at the same
+// offset as a buffered segment used to be discarded wholesale by
+// pending.emplace — losing the tail bytes the original never carried.
+TEST(Reassembly, DuplicateOffsetLongerRetransmitFillsHole) {
+  Collected c;
+  TcpReassembler r(collector(c));
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 0, "ab"));     // pins, delivers [0,2)
+  r.ingest(make_packet(t, 10, "XY"));    // buffered [10,12)
+  r.ingest(make_packet(t, 10, "XYZW"));  // same offset, longer: tail must survive
+  r.ingest(make_packet(t, 2, "cdefghij"));  // fill the hole [2,10)
+  EXPECT_EQ(util::to_string(c.stream), "abcdefghijXYZW");
+}
+
+// One conflicting-segment scenario, four policies, four distinct streams.
+// Segments (offsets relative to the pinned start): "x"@0 pins; "AAAA"@4
+// buffered; "BBBB"@4 conflicts at an equal start; "CCCC"@2 conflicts from an
+// earlier start; "DD"@6 conflicts from a later start; "f"@1 fills the hole
+// and drains everything.
+std::string policy_stream(OverlapPolicy p) {
+  ReassemblyConfig cfg;
+  cfg.overlap = p;
+  Collected c;
+  TcpReassembler r(collector(c), cfg);
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 0, "x"));
+  r.ingest(make_packet(t, 4, "AAAA"));
+  r.ingest(make_packet(t, 4, "BBBB"));
+  r.ingest(make_packet(t, 2, "CCCC"));
+  r.ingest(make_packet(t, 6, "DD"));
+  r.ingest(make_packet(t, 1, "f"));
+  return util::to_string(c.stream);
+}
+
+TEST(ReassemblyPolicy, FirstBufferedBytesWin) {
+  EXPECT_EQ(policy_stream(OverlapPolicy::first), "xfCCAAAA");
+}
+
+TEST(ReassemblyPolicy, LastNewSegmentWins) {
+  EXPECT_EQ(policy_stream(OverlapPolicy::last), "xfCCCCDD");
+}
+
+TEST(ReassemblyPolicy, TargetBsdEarlierStartWins) {
+  EXPECT_EQ(policy_stream(OverlapPolicy::target_bsd), "xfCCCCAA");
+}
+
+TEST(ReassemblyPolicy, TargetLinuxTiesGoToNewSegment) {
+  EXPECT_EQ(policy_stream(OverlapPolicy::target_linux), "xfCCCCBB");
+}
+
+TEST(ReassemblyPolicy, DeliveredPrefixIsAlwaysFirstWins) {
+  // Bytes already handed to the consumer can never be retracted, so even the
+  // most aggressive policy discards data overlapping the delivered prefix.
+  for (const auto p : {OverlapPolicy::first, OverlapPolicy::last,
+                       OverlapPolicy::target_bsd, OverlapPolicy::target_linux}) {
+    ReassemblyConfig cfg;
+    cfg.overlap = p;
+    Collected c;
+    TcpReassembler r(collector(c), cfg);
+    const auto t = tuple_a();
+    r.ingest(make_packet(t, 0, "original"));
+    r.ingest(make_packet(t, 0, "OVERRIDE"));
+    EXPECT_EQ(util::to_string(c.stream), "original") << overlap_policy_name(p);
+  }
+}
+
+TEST(ReassemblyPolicy, NamesRoundTrip) {
+  for (const auto p : {OverlapPolicy::first, OverlapPolicy::last,
+                       OverlapPolicy::target_bsd, OverlapPolicy::target_linux}) {
+    const auto parsed = overlap_policy_from_name(overlap_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(overlap_policy_from_name("nope").has_value());
+}
+
+TEST(Reassembly, DataPastFinIsTrimmed) {
+  Collected c;
+  TcpReassembler r(collector(c));
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 100, "real"));
+  r.ingest(make_packet(t, 104, "", 0, kTcpFin | kTcpAck));  // FIN at offset 4
+  r.ingest(make_packet(t, 104, "EVIL"));  // past the FIN: never reaches the endpoint
+  EXPECT_EQ(util::to_string(c.stream), "real");
+  EXPECT_EQ(r.stats().fins, 1u);
+}
+
+TEST(Reassembly, FinTruncatesBufferedDataBeyondIt) {
+  Collected c;
+  TcpReassembler r(collector(c));
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 0, "ab"));
+  r.ingest(make_packet(t, 10, "WXYZ"));           // buffered past the coming FIN
+  r.ingest(make_packet(t, 6, "", 0, kTcpFin));    // FIN at offset 6
+  r.ingest(make_packet(t, 2, "cdef"));
+  EXPECT_EQ(util::to_string(c.stream), "abcdef");
+}
+
+TEST(Reassembly, LifecycleCallbacksAndRstTeardown) {
+  std::size_t starts = 0;
+  std::vector<std::pair<FiveTuple, EndReason>> ends;
+  TcpReassembler r([](const StreamChunk&) {});
+  r.on_connection_start([&](const FiveTuple&) { ++starts; });
+  r.on_connection_end(
+      [&](const FiveTuple& client, EndReason why) { ends.emplace_back(client, why); });
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 0, "", 0, kTcpSyn));
+  r.ingest(make_packet(t, 1, "data"));
+  r.ingest(make_packet(t, 999, "", 0, kTcpRst));
+  EXPECT_EQ(starts, 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0].first, t) << "end callback reports the client-side tuple";
+  EXPECT_EQ(ends[0].second, EndReason::rst);
+  EXPECT_EQ(r.active_flows(), 0u);
+  EXPECT_EQ(r.stats().resets, 1u);
+  EXPECT_EQ(r.stats().connections_ended, 1u);
+}
+
+TEST(Reassembly, BidirectionalFinHandshakeEndsConnection) {
+  std::vector<EndReason> ends;
+  util::Bytes c2s, s2c;
+  TcpReassembler r([&](const StreamChunk& ch) {
+    EXPECT_EQ(ch.server_port, 80) << "both directions classify by the server port";
+    auto& s = ch.dir == Direction::client_to_server ? c2s : s2c;
+    EXPECT_EQ(ch.offset, s.size());
+    s.insert(s.end(), ch.data.begin(), ch.data.end());
+  });
+  r.on_connection_end([&](const FiveTuple&, EndReason why) { ends.push_back(why); });
+  const auto t = tuple_a();
+  const auto rt = t.reversed();
+  r.ingest(make_packet(t, 100, "", 0, kTcpSyn));
+  r.ingest(make_packet(rt, 500, "", 0, kTcpSyn | kTcpAck));
+  EXPECT_EQ(r.active_flows(), 1u) << "both directions are ONE connection";
+  r.ingest(make_packet(t, 101, "request"));
+  r.ingest(make_packet(rt, 501, "response!"));
+  r.ingest(make_packet(t, 108, "", 0, kTcpFin | kTcpAck));
+  EXPECT_TRUE(ends.empty()) << "half-closed: the server side is still open";
+  r.ingest(make_packet(rt, 510, "", 0, kTcpFin | kTcpAck));
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0], EndReason::fin);
+  EXPECT_EQ(util::to_string(c2s), "request");
+  EXPECT_EQ(util::to_string(s2c), "response!");
+  EXPECT_EQ(r.active_flows(), 0u);
+  EXPECT_EQ(r.stats().side[0].delivered_bytes, 7u);
+  EXPECT_EQ(r.stats().side[1].delivered_bytes, 9u);
+}
+
+TEST(Reassembly, BidirectionalOutOfOrderSidesAreIndependent) {
+  util::Bytes c2s, s2c;
+  TcpReassembler r([&](const StreamChunk& ch) {
+    auto& s = ch.dir == Direction::client_to_server ? c2s : s2c;
+    EXPECT_EQ(ch.offset, s.size());
+    s.insert(s.end(), ch.data.begin(), ch.data.end());
+  });
+  const auto t = tuple_a();
+  const auto rt = t.reversed();
+  r.ingest(make_packet(t, 0, "AB"));     // first sender pins as the client
+  r.ingest(make_packet(rt, 100, "xy"));
+  r.ingest(make_packet(t, 4, "EF"));     // client-side hole
+  r.ingest(make_packet(rt, 103, "w"));   // server-side hole
+  r.ingest(make_packet(t, 2, "CD"));
+  r.ingest(make_packet(rt, 102, "z"));
+  EXPECT_EQ(util::to_string(c2s), "ABCDEF");
+  EXPECT_EQ(util::to_string(s2c), "xyzw");
+  EXPECT_EQ(r.active_flows(), 1u);
+  EXPECT_EQ(r.stats().side[0].segments, 3u);
+  EXPECT_EQ(r.stats().side[1].segments, 3u);
+}
+
+TEST(Reassembly, CloseCountsDiscardedPendingBytes) {
+  TcpReassembler r([](const StreamChunk&) {});
+  const auto t = tuple_a();
+  r.ingest(make_packet(t, 0, "a"));
+  r.ingest(make_packet(t, 10, "pending!"));  // 8 bytes buffered behind a hole
+  r.close_flow(t.reversed());  // either direction's tuple closes the connection
+  EXPECT_EQ(r.stats().discarded_on_close_bytes, 8u);
+  EXPECT_EQ(r.active_flows(), 0u);
+  EXPECT_EQ(r.stats().connections_ended, 1u);
 }
 
 // ---- flowgen --------------------------------------------------------------------
@@ -284,9 +494,9 @@ TEST(FlowGen, ReassemblesBackToOriginalStreams) {
   ASSERT_EQ(flows.streams.size(), 3u);
 
   std::unordered_map<std::uint64_t, util::Bytes> rebuilt;
-  TcpReassembler r([&](const FiveTuple& t, std::uint64_t, util::ByteView chunk) {
-    auto& s = rebuilt[t.hash()];
-    s.insert(s.end(), chunk.begin(), chunk.end());
+  TcpReassembler r([&](const StreamChunk& chunk) {
+    auto& s = rebuilt[chunk.tuple.hash()];
+    s.insert(s.end(), chunk.data.begin(), chunk.data.end());
   });
   for (const Packet& p : flows.packets) r.ingest(p);
   for (std::size_t f = 0; f < flows.streams.size(); ++f) {
@@ -302,14 +512,82 @@ TEST(FlowGen, ReorderingStillReassembles) {
   cfg.seed = 6;
   const auto flows = generate_flows(cfg);
   std::unordered_map<std::uint64_t, util::Bytes> rebuilt;
-  TcpReassembler r([&](const FiveTuple& t, std::uint64_t, util::ByteView chunk) {
-    auto& s = rebuilt[t.hash()];
-    s.insert(s.end(), chunk.begin(), chunk.end());
+  TcpReassembler r([&](const StreamChunk& chunk) {
+    auto& s = rebuilt[chunk.tuple.hash()];
+    s.insert(s.end(), chunk.data.begin(), chunk.data.end());
   });
   for (const Packet& p : flows.packets) r.ingest(p);
   for (std::size_t f = 0; f < flows.streams.size(); ++f) {
     EXPECT_EQ(rebuilt[flows.tuples[f].hash()], flows.streams[f]) << "flow " << f;
   }
+}
+
+// The adversarial corpus must reassemble to the exact ground-truth streams
+// on BOTH sides under every overlap policy: at reorder_fraction=0 the
+// conflicting retransmits always trail the genuine bytes, so they hit the
+// delivered prefix — which is first-wins regardless of policy.
+TEST(FlowGen, EvasionCorpusReassemblesToGroundTruthUnderEveryPolicy) {
+  FlowGenConfig cfg;
+  cfg.flow_count = 5;
+  cfg.bytes_per_flow = 20000;
+  cfg.seed = 9;
+  cfg.evasion = true;
+  const auto flows = generate_flows(cfg);
+  ASSERT_EQ(flows.reverse_streams.size(), 5u);
+
+  for (const auto policy : {OverlapPolicy::first, OverlapPolicy::last,
+                            OverlapPolicy::target_bsd, OverlapPolicy::target_linux}) {
+    ReassemblyConfig rcfg;
+    rcfg.overlap = policy;
+    std::unordered_map<std::uint64_t, util::Bytes> rebuilt;
+    TcpReassembler r(
+        [&](const StreamChunk& chunk) {
+          auto& s = rebuilt[chunk.tuple.hash()];
+          EXPECT_EQ(chunk.offset, s.size());
+          s.insert(s.end(), chunk.data.begin(), chunk.data.end());
+        },
+        rcfg);
+    for (const Packet& p : flows.packets) r.ingest(p);
+    for (std::size_t f = 0; f < flows.streams.size(); ++f) {
+      EXPECT_EQ(rebuilt[flows.tuples[f].hash()], flows.streams[f])
+          << "c2s flow " << f << " policy " << overlap_policy_name(policy);
+      EXPECT_EQ(rebuilt[flows.tuples[f].reversed().hash()], flows.reverse_streams[f])
+          << "s2c flow " << f << " policy " << overlap_policy_name(policy);
+    }
+    EXPECT_GT(r.stats().overlap_bytes_trimmed(), 0u)
+        << "conflicting retransmits and probes must have been discarded";
+    EXPECT_GT(r.stats().fins, 0u);
+    EXPECT_GT(r.stats().resets, 0u);
+    EXPECT_EQ(r.dropped_segments(), 0u);
+    EXPECT_EQ(r.active_flows(), 0u)
+        << "every connection was torn down by FIN or RST";
+  }
+}
+
+TEST(FlowGen, EvasionCorpusSurvivesReorderingDeterministically) {
+  // With reordering the policy outcome is data-dependent; what must hold is
+  // that the same corpus under the same policy always yields the same bytes.
+  FlowGenConfig cfg;
+  cfg.flow_count = 3;
+  cfg.bytes_per_flow = 15000;
+  cfg.reorder_fraction = 0.3;
+  cfg.seed = 12;
+  cfg.evasion = true;
+  const auto flows = generate_flows(cfg);
+  auto run = [&] {
+    std::map<std::uint64_t, util::Bytes> rebuilt;
+    ReassemblyConfig rcfg;
+    rcfg.overlap = OverlapPolicy::target_linux;
+    TcpReassembler r(
+        [&](const StreamChunk& chunk) {
+          auto& s = rebuilt[chunk.tuple.hash()];
+          s.insert(s.end(), chunk.data.begin(), chunk.data.end());
+        },
+        rcfg);
+    for (const Packet& p : flows.packets) r.ingest(p);
+    return rebuilt;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 TEST(FlowGen, Deterministic) {

@@ -80,18 +80,25 @@ std::vector<net::Packet> mixed_traffic(std::uint64_t seed) {
 }
 
 // The single-threaded reference: one reassembler feeding one engine, flow
-// ids and protocol classification identical to the pipeline workers'.
+// ids, protocol classification, and connection-lifecycle teardown identical
+// to the pipeline workers'.
 std::vector<ids::Alert> single_threaded_reference(const std::vector<net::Packet>& packets,
                                                   const pattern::PatternSet& rules,
                                                   core::Algorithm algorithm,
-                                                  ids::EngineCounters* counters_out) {
+                                                  ids::EngineCounters* counters_out,
+                                                  net::ReassemblyConfig reassembly = {}) {
   ids::IdsEngine engine(rules, {algorithm});
   std::vector<ids::Alert> alerts;
   net::TcpReassembler reassembler(
-      [&](const net::FiveTuple& tuple, std::uint64_t, util::ByteView chunk) {
-        engine.inspect(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk,
-                       alerts);
-      });
+      [&](const net::StreamChunk& chunk) {
+        engine.inspect(flow_key(chunk.tuple), ids::classify_port(chunk.server_port),
+                       chunk.data, alerts);
+      },
+      reassembly);
+  reassembler.on_connection_end([&](const net::FiveTuple& client, net::EndReason) {
+    engine.close_flow(flow_key(client));
+    engine.close_flow(flow_key(client.reversed()));
+  });
   for (const net::Packet& p : packets) {
     if (p.tuple.proto == net::IpProto::tcp) {
       reassembler.ingest(p);
@@ -188,6 +195,84 @@ TEST(PipelineDifferentialExtra, HeavyReorderingAcrossManyFlows) {
   std::vector<ids::Alert> actual = rt.alerts();
   std::sort(actual.begin(), actual.end());
   EXPECT_EQ(actual, expected) << testutil::seed_note();
+}
+
+// The evasion corpus through the full pipeline, once per overlap policy:
+// SYN/FIN/RST lifecycle, bidirectional streams, conflicting retransmits,
+// keep-alive probes, and wrap-adjacent ISNs — sharded must still equal the
+// single-threaded reference bit for bit, and connection teardown (which
+// flushes and closes BOTH directional flow ids) must happen at the same
+// packet on both sides of the comparison.
+class PipelineEvasionDifferential
+    : public ::testing::TestWithParam<net::OverlapPolicy> {};
+
+TEST_P(PipelineEvasionDifferential, ShardedEqualsReferenceOnEvasionCorpus) {
+  const net::OverlapPolicy policy = GetParam();
+  const auto rules = mixed_rules();
+  net::FlowGenConfig cfg;
+  cfg.flow_count = 8;
+  cfg.bytes_per_flow = 20000;
+  cfg.reorder_fraction = 0.25;
+  cfg.seed = testutil::case_seed(82);
+  cfg.evasion = true;
+  const auto flows = net::generate_flows(cfg);
+
+  net::ReassemblyConfig rcfg;
+  rcfg.overlap = policy;
+  const auto expected = single_threaded_reference(flows.packets, rules,
+                                                  core::Algorithm::vpatch, nullptr, rcfg);
+  ASSERT_GT(expected.size(), 0u)
+      << "evasion workload must produce alerts (" << testutil::seed_note() << ")";
+
+  for (unsigned workers : {1u, 3u}) {
+    PipelineConfig pcfg;
+    pcfg.algorithm = core::Algorithm::vpatch;
+    pcfg.workers = workers;
+    pcfg.batch_packets = 5;
+    pcfg.reassembly = rcfg;
+    PipelineRuntime rt(rules, pcfg);
+    rt.start();
+    rt.submit(std::span<const net::Packet>(flows.packets));
+    rt.stop();
+
+    std::vector<ids::Alert> actual = rt.alerts();
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected)
+        << workers << " workers, policy " << net::overlap_policy_name(policy) << " ("
+        << testutil::seed_note() << ")";
+    const auto totals = rt.stats().totals();
+    EXPECT_GT(totals.connections_started, 0u);
+    EXPECT_EQ(totals.connections_started, totals.connections_ended)
+        << "every evasion-corpus connection is torn down by FIN or RST";
+    EXPECT_GT(totals.s2c_delivered_bytes, 0u)
+        << "the server→client streams must have been reassembled and scanned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PipelineEvasionDifferential,
+                         ::testing::Values(net::OverlapPolicy::first,
+                                           net::OverlapPolicy::last,
+                                           net::OverlapPolicy::target_bsd,
+                                           net::OverlapPolicy::target_linux),
+                         [](const auto& info) {
+                           return std::string(net::overlap_policy_name(info.param));
+                         });
+
+// The `first` policy is the pre-rework semantics: with lifecycle-free
+// traffic (no handshakes, no FIN/RST — exactly what the old reassembler
+// understood) it must reproduce the same alerts byte for byte.
+TEST(PipelineDifferentialExtra, FirstPolicyMatchesLegacySemantics) {
+  const auto rules = mixed_rules();
+  const auto packets = mixed_traffic(testutil::case_seed(83));
+
+  const auto with_default = single_threaded_reference(packets, rules,
+                                                      core::Algorithm::vpatch, nullptr);
+  net::ReassemblyConfig explicit_first;
+  explicit_first.overlap = net::OverlapPolicy::first;
+  const auto with_first = single_threaded_reference(
+      packets, rules, core::Algorithm::vpatch, nullptr, explicit_first);
+  EXPECT_EQ(with_default, with_first);
+  ASSERT_GT(with_first.size(), 0u) << testutil::seed_note();
 }
 
 }  // namespace

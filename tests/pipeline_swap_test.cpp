@@ -90,10 +90,14 @@ std::vector<ids::Alert> reference_with_swaps(const std::vector<net::Packet>& pac
   ids::IdsEngine engine(std::make_shared<const ids::GroupedRules>(db_initial));
   std::vector<ids::Alert> alerts;
   ids::AlertBuffer sink(alerts);
-  net::TcpReassembler reassembler(
-      [&](const net::FiveTuple& tuple, std::uint64_t, util::ByteView chunk) {
-        engine.inspect(flow_key(tuple), ids::classify_port(tuple.dst_port), chunk, sink);
-      });
+  net::TcpReassembler reassembler([&](const net::StreamChunk& chunk) {
+    engine.inspect(flow_key(chunk.tuple), ids::classify_port(chunk.server_port),
+                   chunk.data, sink);
+  });
+  reassembler.on_connection_end([&](const net::FiveTuple& client, net::EndReason) {
+    engine.close_flow(flow_key(client));
+    engine.close_flow(flow_key(client.reversed()));
+  });
   for (std::size_t i = 0; i < packets.size(); ++i) {
     for (const SwapPoint& s : swaps) {
       if (i == s.first) {
