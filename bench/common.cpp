@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "pattern/ruleset_gen.hpp"
+#include "telemetry/json.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
@@ -81,29 +82,9 @@ pattern::PatternSet s2_full_patterns(std::uint64_t seed) {
 
 namespace {
 
-// Minimal JSON string escaping: quote, backslash, and control bytes.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
+// The one escaper (telemetry/json.hpp) — the NDJSON sink, the exporter's
+// label rendering, and these reports must never drift apart on escaping.
+std::string json_escape(const std::string& s) { return telemetry::json_escaped(s); }
 
 std::string json_number(double v) {
   char buf[64];

@@ -6,30 +6,134 @@
 // deployed sensor would see, unlike the matcher-only figure benches.
 //
 //   pipeline_throughput [--mb=N] [--runs=N] [--seed=N] [--quick] [--json=FILE]
-//                       [--flows=N] [--reorder=PCT] [--evasion]
+//                       [--flows=N] [--reorder=PCT] [--evasion] [--telemetry]
 //
 // --evasion switches the generator to the adversarial corpus (handshakes,
 // wrap-adjacent ISNs, conflicting retransmits, keep-alive probes,
 // bidirectional streams, FIN/RST teardown) — a soak of the reassembler's
 // slow paths under load rather than a best-case segment stream.
+//
+// --telemetry switches to the instrumentation-overhead mode: the same replay
+// with the metrics registry off vs on, reporting the throughput delta (the
+// CI gate on telemetry cost) plus p50/p99 scan latency and ring dwell from
+// the recorded histograms.
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "common.hpp"
 #include "net/flowgen.hpp"
 #include "pipeline/runtime.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace vpm::bench {
 namespace {
 
+// Aggregate quantile across every worker's instance of one histogram family
+// (same bucket layout by construction — one registration site).
+telemetry::HistogramSnapshot merged_snapshot(const telemetry::MetricsRegistry& reg,
+                                             const char* name, unsigned workers) {
+  telemetry::HistogramSnapshot merged;
+  for (unsigned w = 0; w < workers; ++w) {
+    const telemetry::Histogram* h =
+        reg.find_histogram(name, {{"worker", std::to_string(w)}});
+    if (h == nullptr) continue;
+    const telemetry::HistogramSnapshot s = h->snapshot();
+    if (merged.bounds.empty()) {
+      merged = s;
+    } else {
+      for (std::size_t i = 0; i < merged.counts.size(); ++i) merged.counts[i] += s.counts[i];
+      merged.count += s.count;
+      merged.sum += s.sum;
+    }
+  }
+  return merged;
+}
+
+int telemetry_mode(const Options& opt, const pattern::PatternSet& rules,
+                   const std::vector<net::Packet>& packets,
+                   std::uint64_t payload_bytes) {
+  const unsigned workers = std::min(4u, std::max(2u, std::thread::hardware_concurrency() / 2));
+  std::printf("=== Telemetry overhead: %zu patterns, %zu packets, %u workers ===\n",
+              rules.size(), packets.size(), workers);
+  const std::vector<int> widths{22, 12, 12, 12, 12, 12, 12};
+  print_row({"algorithm", "Gbps off", "Gbps on", "overhead%", "scan p50us",
+             "scan p99us", "dwell p99us"},
+            widths);
+
+  JsonReport report("telemetry_overhead", opt);
+  for (core::Algorithm algo :
+       {core::Algorithm::aho_corasick, core::Algorithm::dfc, core::Algorithm::vpatch}) {
+    if (!core::algorithm_available(algo)) continue;
+
+    util::RunningStats gbps_by_mode[2];  // [0]=off, [1]=on
+    std::uint64_t alerts_by_mode[2] = {0, 0};
+    telemetry::HistogramSnapshot scan_latency, ring_dwell;
+    for (int mode = 0; mode < 2; ++mode) {
+      for (unsigned r = 0; r <= opt.runs; ++r) {  // run 0 is the warm-up
+        // Fresh registry per run so the final run's histograms describe one
+        // replay, not an accumulation over warm-ups.
+        telemetry::MetricsRegistry registry;
+        pipeline::PipelineConfig cfg;
+        cfg.algorithm = algo;
+        cfg.workers = workers;
+        if (mode == 1) cfg.metrics = &registry;
+        pipeline::PipelineRuntime rt(rules, cfg);
+        rt.start();
+        util::Timer timer;
+        rt.submit(std::span<const net::Packet>(packets));
+        rt.stop();
+        const double secs = timer.seconds();
+        if (r == 0) continue;
+        gbps_by_mode[mode].add(util::gbps(payload_bytes, secs));
+        alerts_by_mode[mode] = rt.stats().totals().alerts;
+        if (mode == 1) {
+          scan_latency = merged_snapshot(registry, "vpm_scan_latency_seconds", workers);
+          ring_dwell = merged_snapshot(registry, "vpm_ring_dwell_seconds", workers);
+        }
+      }
+    }
+    // Telemetry must be an observer: identical alert totals off vs on (the
+    // full multiset equality lives in telemetry_test).
+    if (alerts_by_mode[0] != alerts_by_mode[1]) {
+      std::fprintf(stderr, "FATAL: alert count changed with telemetry on (%llu vs %llu)\n",
+                   static_cast<unsigned long long>(alerts_by_mode[0]),
+                   static_cast<unsigned long long>(alerts_by_mode[1]));
+      return 1;
+    }
+    const double off = gbps_by_mode[0].mean();
+    const double on = gbps_by_mode[1].mean();
+    const double overhead_pct = off > 0 ? (off - on) / off * 100.0 : 0.0;
+    const double p50_us = scan_latency.quantile(0.50) * 1e6;
+    const double p99_us = scan_latency.quantile(0.99) * 1e6;
+    const double dwell_p99_us = ring_dwell.quantile(0.99) * 1e6;
+    print_row({std::string(core::algorithm_name(algo)), fmt(off), fmt(on),
+               fmt(overhead_pct), fmt(p50_us), fmt(p99_us), fmt(dwell_p99_us)},
+              widths);
+    report.add({{"algorithm", std::string(core::algorithm_name(algo))}},
+               {{"gbps_off", off},
+                {"gbps_on", on},
+                {"overhead_pct", overhead_pct},
+                {"scan_latency_p50_us", p50_us},
+                {"scan_latency_p99_us", p99_us},
+                {"ring_dwell_p99_us", dwell_p99_us}},
+               {{"workers", workers},
+                {"alerts", alerts_by_mode[1]},
+                {"packets", packets.size()},
+                {"scan_rounds", scan_latency.count}});
+  }
+  return report.write() ? 0 : 1;
+}
+
 int main_impl(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
   std::size_t flow_count = 32;
   double reorder = 0.05;
   bool evasion = false;
+  bool telemetry = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--flows=", 8) == 0) {
       flow_count = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
@@ -37,6 +141,8 @@ int main_impl(int argc, char** argv) {
       reorder = std::strtod(argv[i] + 10, nullptr) / 100.0;
     } else if (std::strcmp(argv[i], "--evasion") == 0) {
       evasion = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry = true;
     }
   }
   if (flow_count == 0) flow_count = 1;
@@ -52,6 +158,8 @@ int main_impl(int argc, char** argv) {
   const auto flows = net::generate_flows(fcfg);
   std::uint64_t payload_bytes = 0;
   for (const auto& p : flows.packets) payload_bytes += p.payload.size();
+
+  if (telemetry) return telemetry_mode(opt, rules, flows.packets, payload_bytes);
 
   std::printf("=== Pipeline throughput: %zu patterns, %zu flows x %zu KB, %zu packets "
               "(%.0f%% reordered%s), %u hw threads ===\n",
@@ -69,6 +177,7 @@ int main_impl(int argc, char** argv) {
     for (unsigned workers : {1u, 2u, 4u}) {
       util::RunningStats stats;
       std::uint64_t alerts = 0;
+      pipeline::WorkerStats totals{};
       for (unsigned r = 0; r <= opt.runs; ++r) {  // run 0 is the warm-up
         pipeline::PipelineConfig cfg;
         cfg.algorithm = algo;
@@ -81,7 +190,8 @@ int main_impl(int argc, char** argv) {
         const double secs = timer.seconds();
         if (r == 0) continue;
         stats.add(util::gbps(payload_bytes, secs));
-        alerts = rt.stats().totals().alerts;
+        totals = rt.stats().totals();
+        alerts = totals.alerts;
       }
       if (workers == 1) base = stats.mean();
       print_row({std::string(core::algorithm_name(algo)), std::to_string(workers),
@@ -92,7 +202,10 @@ int main_impl(int argc, char** argv) {
                  {{"gbps_mean", stats.mean()}, {"gbps_stddev", stats.stddev()},
                   {"scaling", base > 0 ? stats.mean() / base : 0.0}},
                  {{"workers", workers}, {"alerts", alerts},
-                  {"packets", flows.packets.size()}});
+                  {"packets", flows.packets.size()},
+                  {"c2s_delivered_bytes", totals.c2s_delivered_bytes},
+                  {"s2c_delivered_bytes", totals.s2c_delivered_bytes},
+                  {"discarded_on_close_bytes", totals.discarded_on_close_bytes}});
     }
   }
   return report.write() ? 0 : 1;

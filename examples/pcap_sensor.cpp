@@ -26,10 +26,14 @@
 // segments is still caught.  With --workers=N the capture is replayed
 // through the sharded pipeline runtime (one reassembler + engine per
 // worker), which reports the same alerts as the single-threaded path.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/database.hpp"
@@ -39,6 +43,10 @@
 #include "pattern/ruleset_gen.hpp"
 #include "pattern/snort_rules.hpp"
 #include "pipeline/runtime.hpp"
+#include "telemetry/http_exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/ndjson_sink.hpp"
+#include "telemetry/pipeline_metrics.hpp"
 #include "util/byte_io.hpp"
 #include "util/timer.hpp"
 
@@ -46,93 +54,180 @@ namespace {
 
 using namespace vpm;
 
+struct SensorOptions {
+  unsigned workers = 0;           // 0 = single-threaded inspect_pcap path
+  std::size_t batch_packets = 0;  // 0 = PipelineConfig default
+  std::size_t swap_after = 0;     // 0 = no hot-swap
+  core::Algorithm algo = core::Algorithm::vpatch;
+  net::ReassemblyConfig reassembly;
+  int metrics_port = -1;          // >= 0: serve /metrics on this port (0 = ephemeral)
+  unsigned serve_seconds = 0;     // keep the /metrics endpoint up after the run
+  std::string alert_json;         // non-empty: NDJSON alert file
+};
+
+// Registers each directional flow with the NDJSON sink as the producer first
+// sees it, so alert lines carry the 5-tuple.  Direction heuristic, mirroring
+// the reassembler's client pinning: the reverse side already seen => this is
+// its opposite; a SYN|ACK opener => server-to-client; otherwise the first
+// speaker is the client.
+class FlowRegistrar {
+ public:
+  explicit FlowRegistrar(telemetry::NdjsonAlertSink& sink) : sink_(sink) {}
+
+  void see(const net::Packet& p) {
+    const std::uint64_t key = pipeline::flow_key(p.tuple);
+    if (dirs_.find(key) != dirs_.end()) return;
+    net::Direction dir = net::Direction::client_to_server;
+    const auto rev = dirs_.find(pipeline::flow_key(p.tuple.reversed()));
+    if (rev != dirs_.end()) {
+      dir = rev->second == net::Direction::client_to_server
+                ? net::Direction::server_to_client
+                : net::Direction::client_to_server;
+    } else if (p.tuple.proto == net::IpProto::tcp &&
+               (p.tcp_flags & net::kTcpSyn) != 0 && (p.tcp_flags & net::kTcpAck) != 0) {
+      dir = net::Direction::server_to_client;
+    }
+    dirs_.emplace(key, dir);
+    sink_.register_flow(key, p.tuple, dir);
+  }
+
+ private:
+  telemetry::NdjsonAlertSink& sink_;
+  std::unordered_map<std::uint64_t, net::Direction> dirs_;
+};
+
 int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-                unsigned workers, std::size_t batch_packets, core::Algorithm algo,
-                std::size_t swap_after, net::ReassemblyConfig reassembly) {
+                const SensorOptions& opt) {
   auto parsed = net::read_pcap(pcap_bytes);
 
   // Compile once, share everywhere: the database owns its pattern copy and
   // is handed to the runtime as an immutable artifact.
-  const DatabasePtr db = compile(algo, rules);
+  const DatabasePtr db = compile(opt.algo, rules);
+
+  // Declared before the runtime: instruments registered by the workers live
+  // here and must outlive them.
+  telemetry::MetricsRegistry registry;
 
   pipeline::PipelineConfig cfg;
-  cfg.workers = workers;
-  cfg.reassembly = reassembly;
-  if (batch_packets > 0) cfg.batch_packets = batch_packets;
+  cfg.workers = opt.workers;
+  cfg.reassembly = opt.reassembly;
+  if (opt.batch_packets > 0) cfg.batch_packets = opt.batch_packets;
+  if (opt.metrics_port >= 0) cfg.metrics = &registry;
+
+  // --alert-json: alerts stream to the NDJSON file as workers find them, and
+  // forward into `collected` (under the sink's lock) so the end-of-run
+  // report below stays identical.
+  std::vector<ids::Alert> collected;
+  ids::AlertBuffer collect_sink{collected};
+  std::unique_ptr<telemetry::NdjsonAlertSink> json_sink;
+  std::unique_ptr<FlowRegistrar> registrar;
+  if (!opt.alert_json.empty()) {
+    json_sink = std::make_unique<telemetry::NdjsonAlertSink>(opt.alert_json, &rules,
+                                                             &collect_sink);
+    registrar = std::make_unique<FlowRegistrar>(*json_sink);
+    cfg.alert_sink = json_sink.get();
+  }
+
   pipeline::PipelineRuntime rt(db, cfg);
+
+  // The exporter outlives nothing: declared after the runtime so its
+  // destructor joins the listener thread before `rt` (which its /metrics
+  // source snapshots) is torn down.
+  std::unique_ptr<telemetry::HttpExporter> exporter;
+  if (opt.metrics_port >= 0) {
+    telemetry::HttpExporterConfig ecfg;
+    ecfg.port = static_cast<std::uint16_t>(opt.metrics_port);
+    exporter = std::make_unique<telemetry::HttpExporter>(ecfg);
+    exporter->add_registry(registry);
+    exporter->add_source([&rt](std::string& out) {
+      telemetry::render_pipeline_prometheus(out, rt.stats());
+    });
+    exporter->start();
+    std::printf("metrics: http://%s:%u/metrics\n", ecfg.bind_address.c_str(),
+                exporter->port());
+    // Visible immediately even when stdout is a pipe/file: scripts watch for
+    // this line to learn the bound (possibly ephemeral) port.
+    std::fflush(stdout);
+  }
+
   rt.start();
   // Compiled outside the timed region: the control-plane cost of producing a
   // new ruleset (bench_compile measures it) must not distort the data-plane
   // Gbps this mode reports alongside the non-swap one.
   DatabasePtr db2;
-  if (swap_after > 0 && swap_after < parsed.packets.size()) {
-    db2 = compile(algo, rules);  // stands in for a newly distributed ruleset
+  if (opt.swap_after > 0 && opt.swap_after < parsed.packets.size()) {
+    db2 = compile(opt.algo, rules);  // stands in for a newly distributed ruleset
   }
+  const auto submit = [&](net::Packet& p) {
+    if (registrar != nullptr) registrar->see(p);
+    rt.submit(std::move(p));
+  };
   util::Timer timer;
   if (db2 != nullptr) {
-    for (std::size_t i = 0; i < swap_after; ++i) rt.submit(std::move(parsed.packets[i]));
+    for (std::size_t i = 0; i < opt.swap_after; ++i) submit(parsed.packets[i]);
     // Quiesce-then-swap: every packet so far is attributed to generation 1,
     // everything after to generation 2 — the zero-drop reload recipe.
     rt.quiesce();
     rt.swap_database(db2);
-    for (std::size_t i = swap_after; i < parsed.packets.size(); ++i) {
-      rt.submit(std::move(parsed.packets[i]));
+    for (std::size_t i = opt.swap_after; i < parsed.packets.size(); ++i) {
+      submit(parsed.packets[i]);
     }
   } else {
-    for (net::Packet& p : parsed.packets) rt.submit(std::move(p));
+    for (net::Packet& p : parsed.packets) submit(p);
   }
   rt.stop();
   const double secs = timer.seconds();
+  if (json_sink != nullptr) json_sink->flush();
+
+  // With --alert-json the live sink collected the alerts; otherwise the
+  // runtime buffered them per worker.
+  const std::vector<ids::Alert>& alerts =
+      json_sink != nullptr ? collected : rt.alerts();
 
   if (db2 != nullptr) {
     std::size_t gen1 = 0, gen2 = 0;
-    for (const ids::Alert& a : rt.alerts()) {
+    for (const ids::Alert& a : alerts) {
       if (a.generation == db->generation()) ++gen1;
       if (a.generation == db2->generation()) ++gen2;
     }
     std::printf("hot-swap after %zu packets: %zu alerts under generation %llu, "
                 "%zu under generation %llu (fingerprints %016llx / %016llx)\n",
-                swap_after, gen1, static_cast<unsigned long long>(db->generation()),
-                gen2, static_cast<unsigned long long>(db2->generation()),
+                opt.swap_after, gen1,
+                static_cast<unsigned long long>(db->generation()), gen2,
+                static_cast<unsigned long long>(db2->generation()),
                 static_cast<unsigned long long>(db->fingerprint()),
                 static_cast<unsigned long long>(db2->fingerprint()));
   }
 
   const auto stats = rt.stats();
   const auto totals = stats.totals();
-  std::printf("pipeline: %u workers, batch %zu, %zu packets (skipped %zu), %llu flows, "
-              "reassembly drops: %llu\n",
-              rt.workers(), cfg.batch_packets, parsed.packets.size(),
-              parsed.skipped_records,
-              static_cast<unsigned long long>(totals.flows_seen),
-              static_cast<unsigned long long>(totals.reassembly_drops));
-  std::printf("reassembly [%s]: c2s %llu B, s2c %llu B, overlap trimmed %llu B, "
-              "overwritten %llu B, connections %llu started / %llu ended, "
-              "discarded on close %llu B\n",
-              net::overlap_policy_name(reassembly.overlap),
-              static_cast<unsigned long long>(totals.c2s_delivered_bytes),
-              static_cast<unsigned long long>(totals.s2c_delivered_bytes),
-              static_cast<unsigned long long>(totals.duplicate_bytes_trimmed),
-              static_cast<unsigned long long>(totals.overwritten_bytes),
-              static_cast<unsigned long long>(totals.connections_started),
-              static_cast<unsigned long long>(totals.connections_ended),
-              static_cast<unsigned long long>(totals.discarded_on_close_bytes));
-  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
-    std::printf("  worker %zu: %llu pkts, %llu flows, %llu alerts\n", w,
-                static_cast<unsigned long long>(stats.workers[w].packets),
-                static_cast<unsigned long long>(stats.workers[w].flows_seen),
-                static_cast<unsigned long long>(stats.workers[w].alerts));
-  }
+  std::printf("%zu packets (skipped %zu), batch %zu, overlap policy %s\n",
+              parsed.packets.size(), parsed.skipped_records, cfg.batch_packets,
+              net::overlap_policy_name(opt.reassembly.overlap));
+  // The one shared stats formatter (every WorkerStats field, totals + per
+  // worker) — the same field table the /metrics endpoint renders from.
+  std::fputs(telemetry::describe_pipeline_stats(stats).c_str(), stdout);
   std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps end-to-end, "
               "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(totals.bytes_inspected), secs,
               util::gbps(totals.bytes_inspected, secs),
               secs > 0 ? static_cast<double>(parsed.packets.size()) / secs / 1e3 : 0.0);
-  std::printf("%zu alerts; first 10:\n", rt.alerts().size());
-  for (std::size_t i = 0; i < rt.alerts().size() && i < 10; ++i) {
-    std::printf("  %s\n", format_alert(rt.alerts()[i], rules).c_str());
+  std::printf("%zu alerts; first 10:\n", alerts.size());
+  for (std::size_t i = 0; i < alerts.size() && i < 10; ++i) {
+    std::printf("  %s\n", format_alert(alerts[i], rules).c_str());
   }
-  return 0;
+  if (json_sink != nullptr) {
+    std::printf("wrote %llu NDJSON alerts to %s%s\n",
+                static_cast<unsigned long long>(json_sink->emitted()),
+                opt.alert_json.c_str(),
+                json_sink->ok() ? "" : " (WRITE ERRORS)");
+  }
+
+  if (exporter != nullptr && opt.serve_seconds > 0) {
+    std::printf("serving /metrics for %u more seconds...\n", opt.serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(opt.serve_seconds));
+  }
+  return json_sink != nullptr && !json_sink->ok() ? 1 : 0;
 }
 
 int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
@@ -175,8 +270,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   return 0;
 }
 
-int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo,
-             std::size_t swap_after, net::ReassemblyConfig reassembly) {
+int run_demo(const SensorOptions& opt) {
   std::printf("demo: synthesizing a capture with reordered segments and planted attacks\n\n");
 
   // Flows with 30% adjacent-segment reordering.
@@ -215,9 +309,8 @@ int run_demo(unsigned workers, std::size_t batch_packets, core::Algorithm algo,
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo,
-                                   swap_after, reassembly)
-                     : run(pcap, rules, algo, reassembly);
+  return opt.workers > 0 ? run_sharded(pcap, rules, opt)
+                         : run(pcap, rules, opt.algo, opt.reassembly);
 }
 
 // The engine list is the factory's advertised contract for THIS CPU (vector
@@ -235,33 +328,49 @@ std::string algo_names() {
 void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--swap-after=N] "
-               "[--overlap-policy=NAME] <capture.pcap> [rules.rules]  |  %s --demo\n"
+               "[--overlap-policy=NAME] [--metrics-port=N] [--serve-seconds=N] "
+               "[--alert-json=FILE] <capture.pcap> [rules.rules]  |  %s --demo\n"
                "  --algo=NAME      matcher engine (default v-patch); available on "
                "this CPU:\n                   %s\n"
                "  --swap-after=N   with --workers: hot-swap to a recompiled "
                "database after N packets\n"
                "  --overlap-policy=NAME  segment-overlap arbitration: "
-               "first|last|target_bsd|target_linux (default first)\n",
+               "first|last|target_bsd|target_linux (default first)\n"
+               "  --metrics-port=N with --workers: serve Prometheus /metrics and "
+               "/healthz on port N (0 = ephemeral)\n"
+               "  --serve-seconds=N      keep /metrics up N seconds after the run\n"
+               "  --alert-json=FILE      with --workers: stream alerts as NDJSON "
+               "(one JSON object per line) to FILE\n",
                prog, prog, algo_names().c_str());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned workers = 0;        // 0 = single-threaded inspect_pcap path
-  std::size_t batch_packets = 0;  // 0 = PipelineConfig default
-  std::size_t swap_after = 0;     // 0 = no hot-swap
-  core::Algorithm algo = core::Algorithm::vpatch;
-  net::ReassemblyConfig reassembly;
+  SensorOptions opt;
   bool demo = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--workers=", 10) == 0) {
-      workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
+      opt.workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--batch=", 8) == 0) {
-      batch_packets = static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
+      opt.batch_packets =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 8, nullptr, 10));
     } else if (std::strncmp(argv[i], "--swap-after=", 13) == 0) {
-      swap_after = static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+      opt.swap_after =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
+      opt.metrics_port = static_cast<int>(std::strtol(argv[i] + 15, nullptr, 10));
+      if (opt.metrics_port < 0 || opt.metrics_port > 65535) {
+        std::fprintf(stderr, "bad --metrics-port=%s; expected 0..65535\n",
+                     argv[i] + 15);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--serve-seconds=", 16) == 0) {
+      opt.serve_seconds =
+          static_cast<unsigned>(std::strtoul(argv[i] + 16, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--alert-json=", 13) == 0) {
+      opt.alert_json = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--overlap-policy=", 17) == 0) {
       const auto policy = net::overlap_policy_from_name(argv[i] + 17);
       if (!policy) {
@@ -271,7 +380,7 @@ int main(int argc, char** argv) {
                      argv[i] + 17);
         return 2;
       }
-      reassembly.overlap = *policy;
+      opt.reassembly.overlap = *policy;
     } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
       const auto parsed = core::algorithm_from_name(argv[i] + 7);
       if (!parsed || !core::algorithm_available(*parsed)) {
@@ -279,7 +388,7 @@ int main(int argc, char** argv) {
                      argv[i] + 7, algo_names().c_str());
         return 2;
       }
-      algo = *parsed;
+      opt.algo = *parsed;
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -289,16 +398,23 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  if (workers == 0 && batch_packets > 0) {
-    std::fprintf(stderr,
-                 "note: --batch=N only affects the sharded pipeline; add --workers=N\n");
+  if (opt.workers == 0) {
+    if (opt.batch_packets > 0) {
+      std::fprintf(
+          stderr, "note: --batch=N only affects the sharded pipeline; add --workers=N\n");
+    }
+    if (opt.swap_after > 0) {
+      std::fprintf(stderr,
+                   "note: --swap-after=N only affects the sharded pipeline; add "
+                   "--workers=N\n");
+    }
+    if (opt.metrics_port >= 0 || !opt.alert_json.empty()) {
+      std::fprintf(stderr,
+                   "note: --metrics-port/--alert-json require the sharded pipeline; "
+                   "add --workers=N\n");
+    }
   }
-  if (workers == 0 && swap_after > 0) {
-    std::fprintf(stderr,
-                 "note: --swap-after=N only affects the sharded pipeline; add "
-                 "--workers=N\n");
-  }
-  if (demo) return run_demo(workers, batch_packets, algo, swap_after, reassembly);
+  if (demo) return run_demo(opt);
   if (positional.empty()) {
     print_usage(argv[0]);
     return 2;
@@ -311,7 +427,6 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return workers > 0 ? run_sharded(pcap, rules, workers, batch_packets, algo,
-                                   swap_after, reassembly)
-                     : run(pcap, rules, algo, reassembly);
+  return opt.workers > 0 ? run_sharded(pcap, rules, opt)
+                         : run(pcap, rules, opt.algo, opt.reassembly);
 }

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "util/timer.hpp"
+
 namespace vpm::ids {
 
 namespace {
@@ -125,10 +128,16 @@ void IdsEngine::stage(std::uint64_t flow_id, pattern::Group protocol, util::Byte
 void IdsEngine::flush_batch(AlertSink& out) {
   assert(!in_scan_ && "flush_batch() called from an AlertSink mid-scan");
   if (pending_.empty() || in_scan_) return;
+  const std::uint64_t t0 =
+      telemetry_.flush_latency != nullptr ? util::monotonic_ns() : 0;
   {
     // Exception-safe: a throwing sink cannot leave in_scan_ wedged.
     ScanGuard guard(&in_scan_);
     flush_batch_impl(out);
+  }
+  if (telemetry_.flush_latency != nullptr) {
+    telemetry_.flush_latency->record(
+        static_cast<double>(util::monotonic_ns() - t0) * 1e-9);
   }
   run_deferred_closes();
 }
@@ -166,6 +175,14 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
 
     rules_->matcher_for(group).scan_batch(g.views, sink, scratch_[gi]);
     counters_.alerts += sink.emitted;
+    if (telemetry::Counter* c = telemetry_.group_scan_bytes[gi]; c != nullptr) {
+      std::uint64_t bytes = 0;
+      for (const util::ByteView& v : g.views) bytes += v.size();
+      c->add(bytes);
+    }
+    if (telemetry::Counter* c = telemetry_.group_alerts[gi]; c != nullptr) {
+      c->add(sink.emitted);
+    }
     g.views.clear();
     g.staged_index.clear();
   }

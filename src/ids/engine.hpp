@@ -12,6 +12,11 @@
 #include "ids/flow.hpp"
 #include "ids/rule_group.hpp"
 
+namespace vpm::telemetry {
+class Counter;
+class Histogram;
+}
+
 namespace vpm::ids {
 
 struct EngineConfig {
@@ -23,6 +28,23 @@ struct EngineCounters {
   std::uint64_t chunks = 0;
   std::uint64_t alerts = 0;
   std::uint64_t flows = 0;  // distinct flows ever seen (not currently active)
+};
+
+inline constexpr std::size_t kEngineGroupCount =
+    static_cast<std::size_t>(pattern::Group::count);
+
+// Optional per-engine instrumentation handles (registry-owned; every pointer
+// may be null to disable that instrument).  Recording is relaxed-atomic and
+// allocation-free, so enabling telemetry cannot change scan results or the
+// zero-alloc steady-state contract — only add a clock read per flush.
+struct EngineTelemetry {
+  // Wall latency of each flush_batch() scan round, in seconds.
+  telemetry::Histogram* flush_latency = nullptr;
+  // Bytes scanned / alerts raised per rule group (indexed by pattern::Group).
+  std::array<telemetry::Counter*, kEngineGroupCount> group_scan_bytes{};
+  std::array<telemetry::Counter*, kEngineGroupCount> group_alerts{};
+
+  bool enabled() const { return flush_latency != nullptr; }
 };
 
 class IdsEngine {
@@ -97,6 +119,11 @@ class IdsEngine {
   const GroupedRules& rules() const { return *rules_; }
   const GroupedRulesPtr& rules_ptr() const { return rules_; }
 
+  // Installs instrumentation handles (copied; the pointed-to instruments must
+  // outlive the engine).  Not synchronized against concurrent scans — set it
+  // before the owning worker starts processing.
+  void set_telemetry(const EngineTelemetry& t) { telemetry_ = t; }
+
  private:
   struct FlowState {
     pattern::Group protocol;
@@ -122,6 +149,7 @@ class IdsEngine {
   GroupedRulesPtr rules_;
   std::unordered_map<std::uint64_t, FlowState> flows_;
   EngineCounters counters_;
+  EngineTelemetry telemetry_;
 
   // Batch machinery (all grow-to-high-water, reused across flushes).
   struct GroupGather {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace vpm::net {
 
 std::optional<OverlapPolicy> overlap_policy_from_name(std::string_view name) {
@@ -139,6 +141,7 @@ void TcpReassembler::deliver(const ConnectionState& conn, Direction dir,
   SideStats& ss = stats_.side[d];
   ++ss.chunks;
   ss.delivered_bytes += data.size();
+  if (chunk_hist_ != nullptr) chunk_hist_->record(static_cast<double>(data.size()));
   const StreamChunk chunk{conn.sides[d], dir, conn.sides[0].dst_port, offset, data};
   on_chunk_(chunk);
 }

@@ -36,6 +36,10 @@
 
 #include "net/packet.hpp"
 
+namespace vpm::telemetry {
+class Histogram;
+}
+
 namespace vpm::net {
 
 enum class Direction : std::uint8_t { client_to_server = 0, server_to_client = 1 };
@@ -169,6 +173,11 @@ class TcpReassembler {
   const ReassemblyStats& stats() const { return stats_; }
   OverlapPolicy policy() const { return cfg_.overlap; }
 
+  // Optional instrumentation: every delivered chunk's size in bytes is
+  // recorded into `h` (relaxed-atomic, allocation-free).  Null disables; the
+  // histogram must outlive the reassembler.
+  void set_chunk_histogram(telemetry::Histogram* h) { chunk_hist_ = h; }
+
   // Pre-rework accessor names (aggregates of stats()).
   std::uint64_t dropped_segments() const { return stats_.dropped_segments; }
   std::uint64_t duplicate_bytes_trimmed() const { return stats_.overlap_bytes_trimmed(); }
@@ -225,6 +234,7 @@ class TcpReassembler {
   ChunkCallback on_chunk_;
   ConnectionStartCallback on_start_;
   ConnectionEndCallback on_end_;
+  telemetry::Histogram* chunk_hist_ = nullptr;
   ReassemblyConfig cfg_;
   ConnMap conns_;  // keyed by canonical (direction-less) tuple
   ReassemblyStats stats_;

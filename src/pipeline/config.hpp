@@ -16,11 +16,33 @@
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
 
+namespace vpm::telemetry {
+class MetricsRegistry;
+}
+
 namespace vpm::pipeline {
 
 // A unit of transfer through the rings: packets are moved in batches to
-// amortize queue synchronization over many small segments.
-using PacketBatch = std::vector<net::Packet>;
+// amortize queue synchronization over many small segments.  The router
+// stamps enqueue_ns (steady-clock) as it pushes when telemetry is enabled,
+// so the consuming worker can histogram ring dwell time; 0 = unstamped.
+struct PacketBatch {
+  std::vector<net::Packet> packets;
+  std::uint64_t enqueue_ns = 0;
+
+  auto begin() { return packets.begin(); }
+  auto end() { return packets.end(); }
+  auto begin() const { return packets.begin(); }
+  auto end() const { return packets.end(); }
+  std::size_t size() const { return packets.size(); }
+  bool empty() const { return packets.empty(); }
+  void reserve(std::size_t n) { packets.reserve(n); }
+  void push_back(net::Packet p) { packets.push_back(std::move(p)); }
+  void clear() {
+    packets.clear();
+    enqueue_ns = 0;
+  }
+};
 
 // The pipeline's per-STREAM identity: the engine flow id every worker uses —
 // directional, so each side of a TCP connection scans as its own stream —
@@ -57,6 +79,16 @@ struct PipelineConfig {
   // the sink must be thread-safe.  When null, alerts are buffered per worker
   // and available from PipelineRuntime::alerts() after stop().
   ids::AlertSink* alert_sink = nullptr;
+
+  // Optional telemetry.  When set, the runtime registers per-worker latency
+  // and size histograms plus per-rule-group counters in the registry (the
+  // vpm_* families; see telemetry/pipeline_metrics.hpp for the stats-derived
+  // ones) and workers record into them: ring dwell and scan/flush latency,
+  // batch fill, reassembled chunk sizes, per-group scan bytes and alerts.
+  // Recording is relaxed-atomic and allocation-free; null keeps the hot path
+  // byte-identical to the uninstrumented build (no clock reads).  The
+  // registry must outlive the runtime.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 }  // namespace vpm::pipeline

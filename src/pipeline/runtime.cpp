@@ -13,12 +13,14 @@ PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg)
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(rules, cfg_, &rules_channel_));
+    if (cfg_.metrics != nullptr) workers_.back()->enable_telemetry(*cfg_.metrics, i);
   }
   std::vector<ShardRouter::Ring*> rings;
   rings.reserve(workers_.size());
   for (auto& w : workers_) rings.push_back(&w->ring());
+  // Telemetry on => the router stamps batches so workers can measure dwell.
   router_ = std::make_unique<ShardRouter>(std::move(rings), cfg_.batch_packets,
-                                          cfg_.backpressure);
+                                          cfg_.backpressure, cfg_.metrics != nullptr);
 }
 
 PipelineRuntime::PipelineRuntime(DatabasePtr db, PipelineConfig cfg)

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/timer.hpp"
+
 namespace vpm::pipeline {
 
 unsigned shard_of(const net::FiveTuple& tuple, unsigned shards) {
@@ -16,11 +18,12 @@ unsigned shard_of(const net::FiveTuple& tuple, unsigned shards) {
 }
 
 ShardRouter::ShardRouter(std::vector<Ring*> rings, std::size_t batch_packets,
-                         BackpressurePolicy policy)
+                         BackpressurePolicy policy, bool stamp_enqueue_time)
     : rings_(std::move(rings)),
       pending_(rings_.size()),
       batch_packets_(batch_packets > 0 ? batch_packets : 1),
-      policy_(policy) {
+      policy_(policy),
+      stamp_enqueue_time_(stamp_enqueue_time) {
   for (PacketBatch& b : pending_) b.reserve(batch_packets_);
 }
 
@@ -41,6 +44,9 @@ void ShardRouter::flush() {
 bool ShardRouter::push_batch(std::size_t shard) {
   PacketBatch& batch = pending_[shard];
   const std::size_t n = batch.size();
+  // Stamped before the push attempt, so a blocked push counts its wait as
+  // dwell — from the consumer's perspective the batch WAS queued that long.
+  if (stamp_enqueue_time_) batch.enqueue_ns = util::monotonic_ns();
   if (policy_ == BackpressurePolicy::block) {
     // Spin briefly, then yield: the consumer is another thread on this host,
     // so the queue-full condition clears in microseconds unless the worker

@@ -29,8 +29,11 @@ class ShardRouter {
   using Ring = SpscRing<PacketBatch>;
 
   // `rings[i]` receives shard i's batches; pointers must outlive the router.
+  // `stamp_enqueue_time` makes every pushed batch carry a steady-clock
+  // timestamp (PacketBatch::enqueue_ns) so consumers can measure ring dwell;
+  // off by default — the uninstrumented path pays no clock reads.
   ShardRouter(std::vector<Ring*> rings, std::size_t batch_packets,
-              BackpressurePolicy policy);
+              BackpressurePolicy policy, bool stamp_enqueue_time = false);
 
   // Routes one packet; pushes its shard's batch when full.  Returns false
   // only when the drop policy discarded the batch the packet was put in.
@@ -50,6 +53,7 @@ class ShardRouter {
   std::vector<PacketBatch> pending_;  // one partial batch per shard
   std::size_t batch_packets_;
   BackpressurePolicy policy_;
+  bool stamp_enqueue_time_;
   std::atomic<std::uint64_t> routed_{0};   // packets successfully pushed into a ring
   std::atomic<std::uint64_t> dropped_{0};  // packets discarded under the drop policy
 };

@@ -12,6 +12,18 @@
 
 namespace vpm::pipeline {
 
+// How a WorkerStats field behaves over time and across workers.  Every
+// consumer that renders or aggregates stats switches on this, so a gauge can
+// never accidentally be exported or summed as a monotonic counter:
+//   counter    monotonically increasing; totals() sums across workers and
+//              the Prometheus exporter emits TYPE counter
+//   gauge      point-in-time level; totals() sums (the fleet-wide level at
+//              the snapshot instant) and the exporter emits TYPE gauge
+//   gauge_max  point-in-time level where summing is meaningless (ruleset
+//              generation, swap count); totals() takes the max and the
+//              exporter emits TYPE gauge
+enum class StatKind : std::uint8_t { counter, gauge, gauge_max };
+
 struct WorkerStats {
   std::uint64_t packets = 0;         // packets consumed from the ring
   std::uint64_t batches = 0;         // batches consumed from the ring
@@ -30,36 +42,63 @@ struct WorkerStats {
   std::uint64_t discarded_on_close_bytes = 0;  // pending dropped by RST/close/evict
   std::uint64_t connections_started = 0;
   std::uint64_t connections_ended = 0;
-  std::uint64_t active_flows = 0;    // engine flows currently holding state
-  std::uint64_t rules_generation = 0;  // ruleset generation this worker runs
-  std::uint64_t rules_swaps = 0;       // hot-swaps this worker has adopted
+  std::uint64_t active_flows = 0;    // gauge: engine flows currently holding state
+  std::uint64_t rules_generation = 0;  // gauge: ruleset generation this worker runs
+  std::uint64_t rules_swaps = 0;       // gauge: hot-swaps this worker has adopted
+
+  // THE single enumeration of every field, with its name and kind.  Every
+  // stats surface (totals() aggregation below, the human formatter and the
+  // Prometheus exporter in telemetry/pipeline_metrics) iterates this, so a
+  // new field added here — and only here — shows up everywhere at once; one
+  // added to the struct but not the table trips the static_assert below.
+  // f(name, kind, member pointer) per field.
+  template <typename F>
+  static void for_each_field(F&& f) {
+    f("packets", StatKind::counter, &WorkerStats::packets);
+    f("batches", StatKind::counter, &WorkerStats::batches);
+    f("payload_bytes", StatKind::counter, &WorkerStats::payload_bytes);
+    f("bytes_inspected", StatKind::counter, &WorkerStats::bytes_inspected);
+    f("chunks", StatKind::counter, &WorkerStats::chunks);
+    f("alerts", StatKind::counter, &WorkerStats::alerts);
+    f("flows_seen", StatKind::counter, &WorkerStats::flows_seen);
+    f("flows_evicted", StatKind::counter, &WorkerStats::flows_evicted);
+    f("reassembly_drops", StatKind::counter, &WorkerStats::reassembly_drops);
+    f("duplicate_bytes_trimmed", StatKind::counter,
+      &WorkerStats::duplicate_bytes_trimmed);
+    f("c2s_delivered_bytes", StatKind::counter, &WorkerStats::c2s_delivered_bytes);
+    f("s2c_delivered_bytes", StatKind::counter, &WorkerStats::s2c_delivered_bytes);
+    f("overwritten_bytes", StatKind::counter, &WorkerStats::overwritten_bytes);
+    f("discarded_on_close_bytes", StatKind::counter,
+      &WorkerStats::discarded_on_close_bytes);
+    f("connections_started", StatKind::counter, &WorkerStats::connections_started);
+    f("connections_ended", StatKind::counter, &WorkerStats::connections_ended);
+    f("active_flows", StatKind::gauge, &WorkerStats::active_flows);
+    f("rules_generation", StatKind::gauge_max, &WorkerStats::rules_generation);
+    f("rules_swaps", StatKind::gauge_max, &WorkerStats::rules_swaps);
+  }
+
+  // 19 uint64 fields.  If this fires you added a field: list it in
+  // for_each_field (pick its StatKind deliberately) and bump the count.
+  static constexpr std::size_t kFieldCount = 19;
 
   WorkerStats& operator+=(const WorkerStats& o) {
-    packets += o.packets;
-    batches += o.batches;
-    payload_bytes += o.payload_bytes;
-    bytes_inspected += o.bytes_inspected;
-    chunks += o.chunks;
-    alerts += o.alerts;
-    flows_seen += o.flows_seen;
-    flows_evicted += o.flows_evicted;
-    reassembly_drops += o.reassembly_drops;
-    duplicate_bytes_trimmed += o.duplicate_bytes_trimmed;
-    c2s_delivered_bytes += o.c2s_delivered_bytes;
-    s2c_delivered_bytes += o.s2c_delivered_bytes;
-    overwritten_bytes += o.overwritten_bytes;
-    discarded_on_close_bytes += o.discarded_on_close_bytes;
-    connections_started += o.connections_started;
-    connections_ended += o.connections_ended;
-    active_flows += o.active_flows;
-    // Generations don't sum: totals report the newest generation any worker
-    // has adopted (and the max swap count — workers adopt independently).
-    rules_generation = rules_generation > o.rules_generation ? rules_generation
-                                                             : o.rules_generation;
-    rules_swaps = rules_swaps > o.rules_swaps ? rules_swaps : o.rules_swaps;
+    for_each_field([&](const char*, StatKind kind, auto member) {
+      switch (kind) {
+        case StatKind::counter:
+        case StatKind::gauge:  // summed gauges: the fleet-wide level
+          this->*member += o.*member;
+          break;
+        case StatKind::gauge_max:
+          if (o.*member > this->*member) this->*member = o.*member;
+          break;
+      }
+    });
     return *this;
   }
 };
+
+static_assert(sizeof(WorkerStats) == WorkerStats::kFieldCount * sizeof(std::uint64_t),
+              "WorkerStats changed: update for_each_field and kFieldCount");
 
 struct PipelineStats {
   std::vector<WorkerStats> workers;
@@ -67,6 +106,10 @@ struct PipelineStats {
   std::uint64_t routed = 0;                // packets pushed into some ring
   std::uint64_t dropped_backpressure = 0;  // packets discarded (drop policy)
 
+  // Aggregation follows each field's StatKind: counters and gauges sum
+  // (point-in-time gauges like active_flows sum to the fleet-wide level of
+  // the snapshot); gauge_max fields (rules_generation, rules_swaps) take the
+  // max — the newest generation any worker has adopted.
   WorkerStats totals() const {
     WorkerStats t;
     for (const WorkerStats& w : workers) t += w;

@@ -1,8 +1,11 @@
 #include "pipeline/worker.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "ids/pcap_pipeline.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/timer.hpp"
 
 namespace vpm::pipeline {
 
@@ -47,6 +50,37 @@ Worker::~Worker() {
   }
 }
 
+void Worker::enable_telemetry(telemetry::MetricsRegistry& reg, unsigned index) {
+  const std::string worker = std::to_string(index);
+  ring_dwell_ = &reg.histogram(
+      "vpm_ring_dwell_seconds",
+      "Time a packet batch waited in its shard ring before a worker popped it",
+      telemetry::latency_buckets_seconds(), {{"worker", worker}});
+  batch_fill_ = &reg.histogram(
+      "vpm_batch_fill_packets", "Packets per popped batch",
+      telemetry::linear_buckets(1.0, 8.0, 16), {{"worker", worker}});
+
+  ids::EngineTelemetry et;
+  et.flush_latency = &reg.histogram(
+      "vpm_scan_latency_seconds",
+      "Wall latency of one batched scan round (IdsEngine::flush_batch)",
+      telemetry::latency_buckets_seconds(), {{"worker", worker}});
+  for (std::size_t gi = 0; gi < ids::kEngineGroupCount; ++gi) {
+    const std::string group(pattern::group_name(static_cast<pattern::Group>(gi)));
+    et.group_scan_bytes[gi] =
+        &reg.counter("vpm_group_scan_bytes_total", "Bytes scanned per rule group",
+                     {{"group", group}, {"worker", worker}});
+    et.group_alerts[gi] =
+        &reg.counter("vpm_group_alerts_total", "Alerts raised per rule group",
+                     {{"group", group}, {"worker", worker}});
+  }
+  engine_.set_telemetry(et);
+
+  reassembler_.set_chunk_histogram(&reg.histogram(
+      "vpm_chunk_bytes", "Reassembled in-order chunk sizes delivered to the engine",
+      telemetry::size_buckets_bytes(), {{"worker", worker}}));
+}
+
 void Worker::start() { thread_ = std::thread([this] { run(); }); }
 
 void Worker::request_stop() { done_.store(true, std::memory_order_release); }
@@ -58,8 +92,18 @@ void Worker::join() {
 void Worker::run() {
   PacketBatch batch;
   unsigned idle_spins = 0;
+  // Dwell/fill accounting for a just-popped batch; a no-op (and no clock
+  // read) when telemetry is off or the producer did not stamp the batch.
+  const auto record_pop = [this](const PacketBatch& b) {
+    if (batch_fill_ != nullptr) batch_fill_->record(static_cast<double>(b.size()));
+    if (ring_dwell_ != nullptr && b.enqueue_ns != 0) {
+      ring_dwell_->record(static_cast<double>(util::monotonic_ns() - b.enqueue_ns) *
+                          1e-9);
+    }
+  };
   for (;;) {
     if (ring_.try_pop(batch)) {
+      record_pop(batch);
       // Adopt AFTER the pop: the producer publishes a new generation before
       // pushing any batch meant for it, and the ring's release-push /
       // acquire-pop edge makes that publication visible here — so a batch
@@ -78,6 +122,7 @@ void Worker::run() {
     // AFTER the done_ load means there is nothing left to drain.
     if (done_.load(std::memory_order_acquire)) {
       if (ring_.try_pop(batch)) {
+        record_pop(batch);
         maybe_adopt_rules();
         process(batch);
         batch.clear();

@@ -34,6 +34,11 @@
 #include "pipeline/spsc_ring.hpp"
 #include "pipeline/stats.hpp"
 
+namespace vpm::telemetry {
+class Histogram;
+class MetricsRegistry;
+}
+
 namespace vpm::pipeline {
 
 // The ruleset publication slot shared by the runtime (writer) and every
@@ -96,6 +101,13 @@ class Worker {
   // Coherent-enough snapshot; callable from any thread while running.
   WorkerStats stats() const;
 
+  // Registers this worker's instruments (labelled worker="index") in `reg`
+  // and starts recording into them: ring dwell, batch fill, scan/flush
+  // latency, reassembled chunk sizes, per-rule-group scan bytes and alerts.
+  // Call before start(); `reg` must outlive the worker.  All registration
+  // allocation happens here — the recording paths are allocation-free.
+  void enable_telemetry(telemetry::MetricsRegistry& reg, unsigned index);
+
   // The worker's buffered alerts (empty when cfg.alert_sink routed them
   // elsewhere).  Only valid after join().
   std::vector<ids::Alert>& alerts() { return alerts_; }
@@ -119,6 +131,11 @@ class Worker {
   // Hot-swap subscription (worker-thread reads; runtime writes).
   const RulesChannel* swaps_;
   std::uint64_t adopted_seq_ = 0;
+
+  // Telemetry instruments (registry-owned; null when telemetry is off, and
+  // the hot loop then performs no clock reads).
+  telemetry::Histogram* ring_dwell_ = nullptr;
+  telemetry::Histogram* batch_fill_ = nullptr;
 
   // Worker-thread-local bookkeeping.
   std::uint64_t virtual_now_us_ = 0;  // max packet timestamp seen

@@ -1,0 +1,181 @@
+#include "telemetry/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/metrics.hpp"
+
+namespace vpm::telemetry {
+
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away mid-response; nothing to salvage
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+constexpr const char* kMetricsContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterConfig cfg) : cfg_(std::move(cfg)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::add_source(TextSource source) {
+  if (running()) throw std::logic_error("HttpExporter: add_source after start()");
+  sources_.push_back(std::move(source));
+}
+
+void HttpExporter::add_registry(const MetricsRegistry& registry) {
+  add_source([&registry](std::string& out) { registry.render_prometheus(out); });
+}
+
+void HttpExporter::start() {
+  if (running() || thread_.joinable()) {
+    throw std::logic_error("HttpExporter::start: exporter is one-shot");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("HttpExporter: socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: bad bind address '" + cfg_.bind_address +
+                             "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: cannot listen on " + cfg_.bind_address +
+                             ":" + std::to_string(cfg_.port) + ": " + err);
+  }
+  socklen_t addr_len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("HttpExporter: pipe: ") +
+                             std::strerror(errno));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void HttpExporter::stop() {
+  if (!thread_.joinable()) return;
+  running_.store(false, std::memory_order_release);
+  const char wake = 'x';
+  // A full pipe cannot happen (one byte per stop), but check anyway to keep
+  // -Wunused-result honest.
+  if (::write(wake_pipe_[1], &wake, 1) < 0) { /* poll times out regardless */
+  }
+  thread_.join();
+  ::close(listen_fd_);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  listen_fd_ = -1;
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+void HttpExporter::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    // A timeout backstops a lost wake byte; nothing spins at 1 Hz.
+    const int ready = ::poll(fds, 2, 1000);
+    if (ready <= 0) continue;
+    if (fds[1].revents != 0) break;  // stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) continue;
+    // Bound both directions so a stuck scraper cannot wedge the listener.
+    timeval tv{2, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    serve_one(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::serve_one(int client_fd) {
+  // Read until the header terminator (requests are one GET line + headers;
+  // 8 KB is generous) — a scraper that never finishes its headers times out
+  // via SO_RCVTIMEO.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string method = sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  const std::string path =
+      sp1 == std::string::npos || sp2 == std::string::npos
+          ? ""
+          : line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  if (method != "GET") {
+    send_response(client_fd, "405 Method Not Allowed", "text/plain",
+                  "method not allowed\n");
+    return;
+  }
+  if (path == "/healthz") {
+    send_response(client_fd, "200 OK", "text/plain", "ok\n");
+    return;
+  }
+  if (path == "/metrics" || path.rfind("/metrics?", 0) == 0) {
+    std::string body;
+    body.reserve(1 << 14);
+    for (const TextSource& source : sources_) source(body);
+    send_response(client_fd, "200 OK", kMetricsContentType, body);
+    return;
+  }
+  send_response(client_fd, "404 Not Found", "text/plain", "not found\n");
+}
+
+}  // namespace vpm::telemetry

@@ -1,0 +1,78 @@
+// Minimal blocking Prometheus exposition endpoint: one listener thread, one
+// connection served at a time (scrapes are rare and tiny; a deliberately
+// boring server is the right amount of server for a sensor's sidecar port).
+//
+//   GET /metrics   text/plain; version=0.0.4 — concatenation of every
+//                  registered text source (the metrics registry, the live
+//                  PipelineStats renderer, ...), assembled fresh per scrape
+//   GET /healthz   200 "ok\n" liveness probe
+//   anything else  404 (405 for non-GET methods)
+//
+// The listener thread never touches the scan path: sources read relaxed-
+// atomic snapshots, so a scrape perturbs workers no more than a stats()
+// call.  stop() (or the destructor) wakes the poll loop through a pipe and
+// joins — no half-closed listener sockets left behind.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vpm::telemetry {
+
+class MetricsRegistry;
+
+struct HttpExporterConfig {
+  std::string bind_address = "0.0.0.0";  // scrape from anywhere by default
+  std::uint16_t port = 0;                // 0 = kernel-assigned (tests)
+};
+
+class HttpExporter {
+ public:
+  // Appends its text to the /metrics body; called on the listener thread,
+  // must be safe to run concurrently with whatever it snapshots.
+  using TextSource = std::function<void(std::string&)>;
+
+  explicit HttpExporter(HttpExporterConfig cfg = {});
+  ~HttpExporter();  // stops if still running
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Sources render in registration order.  Register before start().
+  void add_source(TextSource source);
+  // Convenience: the registry's full Prometheus rendering as a source.
+  void add_registry(const MetricsRegistry& registry);
+
+  // Binds + listens + spawns the listener thread.  Throws std::runtime_error
+  // (with errno text) when the address cannot be bound.  One-shot.
+  void start();
+  void stop();  // idempotent; joins the listener thread
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolves port 0 after start()).
+  std::uint16_t port() const { return port_; }
+
+  // Total scrapes served (any path); test/ops visibility.
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void serve_one(int client_fd);
+
+  HttpExporterConfig cfg_;
+  std::vector<TextSource> sources_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // stop() writes, the poll loop wakes
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace vpm::telemetry

@@ -1,0 +1,262 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace vpm::telemetry {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      const double hi = i < bounds.size() ? bounds[i]
+                                          : (bounds.empty() ? 0.0 : bounds.back());
+      if (i >= bounds.size()) return hi;  // +Inf bucket: report last finite bound
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double into = (rank - static_cast<double>(cumulative)) /
+                          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("exponential_buckets: need start > 0 and factor > 1");
+  }
+  std::vector<double> b;
+  b.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v *= factor) b.push_back(v);
+  return b;
+}
+
+std::vector<double> linear_buckets(double start, double step, std::size_t count) {
+  if (step <= 0.0) throw std::invalid_argument("linear_buckets: need step > 0");
+  std::vector<double> b;
+  b.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v += step) b.push_back(v);
+  return b;
+}
+
+const std::vector<double>& latency_buckets_seconds() {
+  static const std::vector<double> buckets = exponential_buckets(1e-6, 2.0, 24);
+  return buckets;
+}
+
+const std::vector<double>& size_buckets_bytes() {
+  static const std::vector<double> buckets = exponential_buckets(16.0, 4.0, 10);
+  return buckets;
+}
+
+namespace {
+
+// %.9g keeps integers integral ("256" not "256.000000") and round-trips the
+// usual bucket bounds; Prometheus accepts any valid float literal.
+std::string number_text(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_labels(std::string& out, const Labels& labels, const char* extra_key,
+                   const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    json_escape(v, out);  // Prometheus label escapes are a subset of JSON's
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::family_for(std::string_view name,
+                                                     std::string_view help, Kind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{std::string(help), kind, {}}).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: metric '" + std::string(name) +
+                                "' registered with two different kinds");
+  }
+  return it->second;
+}
+
+MetricsRegistry::Series* MetricsRegistry::series_for(Family& fam, const Labels& labels) {
+  for (auto& s : fam.series) {
+    if (s->labels == labels) return s.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::counter);
+  if (Series* s = series_for(fam, labels)) return *s->counter;
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->counter = std::make_unique<Counter>();
+  Counter& handle = *series->counter;
+  fam.series.push_back(std::move(series));
+  return handle;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::gauge);
+  if (Series* s = series_for(fam, labels)) return *s->gauge;
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->gauge = std::make_unique<Gauge>();
+  Gauge& handle = *series->gauge;
+  fam.series.push_back(std::move(series));
+  return handle;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
+                                      std::vector<double> bounds, Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& fam = family_for(name, help, Kind::histogram);
+  if (Series* s = series_for(fam, labels)) {
+    if (s->histogram->bounds() != bounds) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + std::string(name) +
+                                  "' re-registered with different buckets");
+    }
+    return *s->histogram;
+  }
+  auto series = std::make_unique<Series>();
+  series->labels = std::move(labels);
+  series->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram& handle = *series->histogram;
+  fam.series.push_back(std::move(series));
+  return handle;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name,
+                                                 const Labels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::histogram) return nullptr;
+  for (const auto& s : it->second.series) {
+    if (s->labels == labels) return s->histogram.get();
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::render_prometheus(std::string& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, fam] : families_) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += fam.help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += fam.kind == Kind::counter ? "counter"
+           : fam.kind == Kind::gauge ? "gauge"
+                                     : "histogram";
+    out += '\n';
+    for (const auto& s : fam.series) {
+      switch (fam.kind) {
+        case Kind::counter:
+          out += name;
+          append_labels(out, s->labels, nullptr, {});
+          out += ' ';
+          out += std::to_string(s->counter->value());
+          out += '\n';
+          break;
+        case Kind::gauge:
+          out += name;
+          append_labels(out, s->labels, nullptr, {});
+          out += ' ';
+          out += std::to_string(s->gauge->value());
+          out += '\n';
+          break;
+        case Kind::histogram: {
+          const HistogramSnapshot snap = s->histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+            cumulative += snap.counts[i];
+            out += name;
+            out += "_bucket";
+            append_labels(out, s->labels, "le",
+                          i < snap.bounds.size() ? number_text(snap.bounds[i]) : "+Inf");
+            out += ' ';
+            out += std::to_string(cumulative);
+            out += '\n';
+          }
+          out += name;
+          out += "_sum";
+          append_labels(out, s->labels, nullptr, {});
+          out += ' ';
+          out += number_text(snap.sum);
+          out += '\n';
+          out += name;
+          out += "_count";
+          append_labels(out, s->labels, nullptr, {});
+          out += ' ';
+          out += std::to_string(snap.count);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::string out;
+  render_prometheus(out);
+  return out;
+}
+
+}  // namespace vpm::telemetry

@@ -1,0 +1,149 @@
+// Metrics substrate for the pipeline: counters, gauges, and fixed-bucket
+// histograms behind a registry that renders Prometheus text format v0.0.4.
+//
+// Contract: the RECORD path (Counter::add, Gauge::set, Histogram::record) is
+// a handful of relaxed atomic operations — no locks, no allocation, safe
+// from any thread, cheap enough for the pipeline worker's per-batch loop
+// (alloc_test pins the no-allocation half of this).  All allocation happens
+// at REGISTRATION time (MetricsRegistry::counter/gauge/histogram, mutex-
+// guarded), which the embedder does once at setup; handles returned by the
+// registry are stable for its lifetime.
+//
+// Relaxed atomics mean a scrape sees each series' value at-or-near "now",
+// with no cross-series ordering guarantee — the same coherence class as
+// WorkerStats snapshots, and exactly what Prometheus expects of a scrape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vpm::telemetry {
+
+class Counter {
+ public:
+  // Hot path: one relaxed fetch_add.
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  // Single-writer publication of an externally accumulated monotonic total
+  // (the pipeline worker already keeps its own counters; publishing the
+  // running total is cheaper than mirroring every increment).  Callers must
+  // never publish a smaller value — Prometheus counters only go up.
+  void set(std::uint64_t total) { v_.store(total, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// A read-coherent copy of one histogram, plus quantile estimation for the
+// bench reporters (Prometheus computes quantiles server-side; the bench
+// wants p50/p99 locally).
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // upper bounds; implicit +Inf follows
+  std::vector<std::uint64_t> counts; // per-bucket (NOT cumulative); size bounds+1
+  std::uint64_t count = 0;           // total observations
+  double sum = 0.0;
+
+  // Linear interpolation inside the winning bucket (lower edge 0 for the
+  // first, last finite bound for the +Inf bucket).  q in [0, 1].
+  double quantile(double q) const;
+};
+
+// Fixed-bucket histogram.  Bounds are strictly increasing upper bounds
+// (Prometheus `le` semantics: bucket i counts v <= bounds[i]); one implicit
+// +Inf bucket follows.  Bounds are fixed at registration, so record() is a
+// short linear scan plus two relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  // Hot path: no locks, no allocation.
+  void record(double v) {
+    const std::size_t n = bounds_.size();
+    std::size_t i = 0;
+    while (i < n && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    // GCC/x86-64 implements this as a CAS loop — lock-free, not lock-based.
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+1 (+Inf last)
+  std::atomic<double> sum_{0.0};
+};
+
+// `start * factor^i` for i in [0, count): the usual latency/size ladder.
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count);
+std::vector<double> linear_buckets(double start, double step, std::size_t count);
+
+// Shared default ladders so every latency/size histogram in the process
+// buckets identically (dashboards can aggregate across workers).
+const std::vector<double>& latency_buckets_seconds();  // 1 µs .. ~8 s, ×2
+const std::vector<double>& size_buckets_bytes();       // 16 B .. 4 MiB, ×4
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Families keyed by metric name; series within a family keyed by label set.
+// Registering the same (name, labels) twice returns the same handle;
+// registering one name with two different metric kinds (or histogram bucket
+// layouts) throws std::invalid_argument.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help, Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help, Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  // Prometheus text format v0.0.4: one # HELP / # TYPE pair per family,
+  // families sorted by name, series in registration order.
+  void render_prometheus(std::string& out) const;
+  std::string render_prometheus() const;
+
+  // Finds an already-registered histogram (bench reporters); nullptr when
+  // the series does not exist.
+  const Histogram* find_histogram(std::string_view name, const Labels& labels) const;
+
+ private:
+  enum class Kind : std::uint8_t { counter, gauge, histogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    Kind kind{};
+    std::vector<std::unique_ptr<Series>> series;
+  };
+
+  Family& family_for(std::string_view name, std::string_view help, Kind kind);
+  Series* series_for(Family& fam, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family, std::less<>> families_;
+};
+
+}  // namespace vpm::telemetry

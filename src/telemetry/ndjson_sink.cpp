@@ -1,0 +1,117 @@
+#include "telemetry/ndjson_sink.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace vpm::telemetry {
+
+namespace {
+
+void append_ipv4(std::string& out, std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", ip >> 24 & 0xFF, ip >> 16 & 0xFF,
+                ip >> 8 & 0xFF, ip & 0xFF);
+  out += buf;
+}
+
+std::uint64_t wall_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+NdjsonAlertSink::NdjsonAlertSink(const std::string& path,
+                                 const pattern::PatternSet* patterns,
+                                 ids::AlertSink* forward)
+    : out_(std::fopen(path.c_str(), "w")),
+      owns_stream_(true),
+      patterns_(patterns),
+      forward_(forward) {
+  if (out_ == nullptr) {
+    throw std::runtime_error("NdjsonAlertSink: cannot open '" + path + "' for writing");
+  }
+}
+
+NdjsonAlertSink::NdjsonAlertSink(std::FILE* stream, const pattern::PatternSet* patterns,
+                                 ids::AlertSink* forward)
+    : out_(stream), owns_stream_(false), patterns_(patterns), forward_(forward) {
+  if (out_ == nullptr) throw std::invalid_argument("NdjsonAlertSink: null stream");
+}
+
+NdjsonAlertSink::~NdjsonAlertSink() {
+  if (owns_stream_) {
+    std::fclose(out_);
+  } else {
+    std::fflush(out_);
+  }
+}
+
+void NdjsonAlertSink::register_flow(std::uint64_t flow_id, const net::FiveTuple& tuple,
+                                    net::Direction dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flows_.emplace(flow_id, FlowInfo{tuple, dir});
+}
+
+void NdjsonAlertSink::append_line(const ids::Alert& alert) {
+  line_.clear();
+  line_ += "{\"ts_us\":" + std::to_string(wall_us());
+  line_ += ",\"flow\":" + std::to_string(alert.flow_id);
+  const auto it = flows_.find(alert.flow_id);
+  if (it != flows_.end()) {
+    const net::FiveTuple& t = it->second.tuple;
+    line_ += ",\"src_ip\":\"";
+    append_ipv4(line_, t.src_ip);
+    line_ += "\",\"src_port\":" + std::to_string(t.src_port);
+    line_ += ",\"dst_ip\":\"";
+    append_ipv4(line_, t.dst_ip);
+    line_ += "\",\"dst_port\":" + std::to_string(t.dst_port);
+    line_ += ",\"proto\":\"";
+    line_ += t.proto == net::IpProto::tcp ? "tcp" : "udp";
+    line_ += "\",\"dir\":\"";
+    line_ += net::direction_name(it->second.dir);
+    line_ += '"';
+  }
+  line_ += ",\"group\":\"";
+  line_ += pattern::group_name(alert.group);
+  line_ += "\",\"pattern\":" + std::to_string(alert.pattern_id);
+  line_ += ",\"offset\":" + std::to_string(alert.stream_offset);
+  line_ += ",\"generation\":" + std::to_string(alert.generation);
+  if (patterns_ != nullptr && alert.pattern_id < patterns_->size()) {
+    line_ += ",\"match\":\"";
+    json_escape((*patterns_)[alert.pattern_id].printable(), line_);
+    line_ += '"';
+  }
+  line_ += "}\n";
+}
+
+void NdjsonAlertSink::on_alert(const ids::Alert& alert) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  append_line(alert);
+  if (std::fwrite(line_.data(), 1, line_.size(), out_) != line_.size()) {
+    write_error_ = true;
+  }
+  ++emitted_;
+  if (forward_ != nullptr) forward_->on_alert(alert);
+}
+
+void NdjsonAlertSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fflush(out_) != 0) write_error_ = true;
+}
+
+std::uint64_t NdjsonAlertSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+bool NdjsonAlertSink::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !write_error_;
+}
+
+}  // namespace vpm::telemetry

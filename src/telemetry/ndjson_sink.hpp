@@ -1,0 +1,84 @@
+// Structured alert output: one JSON object per line (NDJSON), the format
+// log shippers (filebeat/vector/fluentd) ingest without a parser config.
+//
+// An ids::Alert carries the directional flow id (tuple hash) but not the
+// tuple itself — the engine layer is deliberately network-agnostic.  The
+// embedder therefore registers each flow id's 5-tuple and direction as it
+// first routes the flow (register_flow is idempotent); alerts for
+// unregistered flows still emit, just without the tuple fields.
+//
+// Line schema (fields always in this order; absent = unknown):
+//   {"ts_us":…, "flow":…, "src_ip":"a.b.c.d", "src_port":…, "dst_ip":…,
+//    "dst_port":…, "proto":"tcp|udp", "dir":"c2s|s2c", "group":"http",
+//    "pattern":…, "offset":…, "generation":…, "match":"…"}
+// "match" (the pattern's printable text, JSON-escaped centrally through
+// telemetry::json_escape) appears only when a PatternSet was provided.
+//
+// Thread-safe: on_alert takes one mutex around format+write+forward, so the
+// pipeline's workers can share one sink and an optional downstream sink
+// (e.g. an AlertBuffer for the end-of-run report) is serialized through the
+// same lock.  The alert path is orders of magnitude colder than the scan
+// path; a mutex is the honest tool.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ids/alert.hpp"
+#include "net/reassembly.hpp"
+#include "pattern/pattern_set.hpp"
+
+namespace vpm::telemetry {
+
+class NdjsonAlertSink final : public ids::AlertSink {
+ public:
+  // Writes to `path` (truncating).  `patterns` (optional, must outlive the
+  // sink) adds the matched pattern text; `forward` (optional) receives every
+  // alert after it is written, under the sink's lock.
+  NdjsonAlertSink(const std::string& path, const pattern::PatternSet* patterns = nullptr,
+                  ids::AlertSink* forward = nullptr);
+  // Writes to an already-open stream the caller owns (stdout, memstream).
+  NdjsonAlertSink(std::FILE* stream, const pattern::PatternSet* patterns = nullptr,
+                  ids::AlertSink* forward = nullptr);
+  ~NdjsonAlertSink();
+
+  NdjsonAlertSink(const NdjsonAlertSink&) = delete;
+  NdjsonAlertSink& operator=(const NdjsonAlertSink&) = delete;
+
+  // Associates a DIRECTIONAL flow id (pipeline::flow_key(tuple)) with its
+  // tuple.  Idempotent; later registrations of the same id are ignored.
+  // Call from any thread (takes the sink lock).
+  void register_flow(std::uint64_t flow_id, const net::FiveTuple& tuple,
+                     net::Direction dir);
+
+  void on_alert(const ids::Alert& alert) override;
+
+  // Flushes buffered lines to the underlying stream.
+  void flush();
+
+  std::uint64_t emitted() const;
+  bool ok() const;  // false once any write failed (disk full, closed pipe)
+
+ private:
+  struct FlowInfo {
+    net::FiveTuple tuple;
+    net::Direction dir;
+  };
+
+  void append_line(const ids::Alert& alert);
+
+  mutable std::mutex mutex_;
+  std::FILE* out_;
+  bool owns_stream_;
+  const pattern::PatternSet* patterns_;
+  ids::AlertSink* forward_;
+  std::unordered_map<std::uint64_t, FlowInfo> flows_;
+  std::string line_;  // reused per alert
+  std::uint64_t emitted_ = 0;
+  bool write_error_ = false;
+};
+
+}  // namespace vpm::telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/pipeline_metrics.hpp"
+
+#include <cstdio>
+
+namespace vpm::telemetry {
+
+using pipeline::PipelineStats;
+using pipeline::StatKind;
+using pipeline::WorkerStats;
+
+std::string describe_pipeline_stats(const PipelineStats& stats) {
+  std::string out;
+  out += "pipeline: submitted=" + std::to_string(stats.submitted) +
+         " routed=" + std::to_string(stats.routed) +
+         " dropped_backpressure=" + std::to_string(stats.dropped_backpressure) +
+         " workers=" + std::to_string(stats.workers.size()) + "\n";
+
+  const WorkerStats totals = stats.totals();
+  out += "totals:";
+  WorkerStats::for_each_field([&](const char* name, StatKind kind, auto member) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(totals.*member);
+    if (kind != StatKind::counter) out += "(g)";  // gauge: level, not a total
+  });
+  out += '\n';
+
+  for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+    const WorkerStats& ws = stats.workers[w];
+    out += "worker " + std::to_string(w) + ":";
+    WorkerStats::for_each_field([&](const char* name, StatKind, auto member) {
+      out += ' ';
+      out += name;
+      out += '=';
+      out += std::to_string(ws.*member);
+    });
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void emit_family(std::string& out, const std::string& name, const char* type,
+                 const char* help) {
+  out += "# HELP " + name + ' ' + help + "\n# TYPE " + name + ' ' + type + '\n';
+}
+
+}  // namespace
+
+void render_pipeline_prometheus(std::string& out, const PipelineStats& stats) {
+  // Ingest-side counters (producer thread's view).
+  emit_family(out, "vpm_pipeline_submitted_total", "counter",
+              "Packets handed to PipelineRuntime::submit()");
+  out += "vpm_pipeline_submitted_total " + std::to_string(stats.submitted) + '\n';
+  emit_family(out, "vpm_pipeline_routed_total", "counter",
+              "Packets pushed into a worker ring");
+  out += "vpm_pipeline_routed_total " + std::to_string(stats.routed) + '\n';
+  emit_family(out, "vpm_pipeline_dropped_backpressure_total", "counter",
+              "Packets discarded by the drop backpressure policy");
+  out += "vpm_pipeline_dropped_backpressure_total " +
+         std::to_string(stats.dropped_backpressure) + '\n';
+
+  const WorkerStats totals = stats.totals();
+
+  WorkerStats::for_each_field([&](const char* field, StatKind kind, auto member) {
+    const bool counter = kind == StatKind::counter;
+    // Per-worker series.
+    const std::string worker_name =
+        std::string("vpm_worker_") + field + (counter ? "_total" : "");
+    emit_family(out, worker_name, counter ? "counter" : "gauge",
+                "Per-worker pipeline statistic (see WorkerStats)");
+    for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+      out += worker_name + "{worker=\"" + std::to_string(w) + "\"} " +
+             std::to_string(stats.workers[w].*member) + '\n';
+    }
+    // Aggregate series (sum for counters/gauges, max for gauge_max — the
+    // same rule totals() applies).
+    const std::string total_name =
+        std::string("vpm_") + field + (counter ? "_total" : "");
+    emit_family(out, total_name, counter ? "counter" : "gauge",
+                kind == StatKind::gauge_max
+                    ? "Max across workers (see WorkerStats)"
+                    : "Sum across workers (see WorkerStats)");
+    out += total_name + ' ' + std::to_string(totals.*member) + '\n';
+  });
+}
+
+}  // namespace vpm::telemetry

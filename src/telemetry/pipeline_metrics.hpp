@@ -1,0 +1,35 @@
+// The two rendering surfaces for PipelineStats, driven off the ONE
+// WorkerStats field table (WorkerStats::for_each_field):
+//
+//   describe_pipeline_stats   the human text block pcap_sensor prints (and
+//                             anything else wanting a console summary)
+//   render_pipeline_prometheus the /metrics families the HTTP exporter
+//                             serves, gauge/counter-typed per StatKind
+//
+// Both iterate the same table, so a WorkerStats field added tomorrow appears
+// in the console dump, the exporter, and totals() aggregation without any of
+// the three being touched — the failure mode this module exists to kill was
+// a counter reaching one surface and silently missing another.
+#pragma once
+
+#include <string>
+
+#include "pipeline/stats.hpp"
+
+namespace vpm::telemetry {
+
+// Multi-line human summary: pipeline-level counters, the totals row (every
+// field from the table, counters first, gauges marked), then one compact
+// line per worker.
+std::string describe_pipeline_stats(const pipeline::PipelineStats& stats);
+
+// Prometheus text: per-field families named vpm_worker_<field>[_total] with
+// a worker="i" label per series plus an aggregate family per field
+// (vpm_<field>[_total]) from totals(); counters get the _total suffix and
+// TYPE counter, gauges keep the bare name and TYPE gauge (rules_generation
+// becomes the vpm_rules_generation gauge dashboards watch across swaps).
+// Pipeline-level ingest counters (submitted/routed/dropped_backpressure)
+// are emitted as vpm_pipeline_*_total.
+void render_pipeline_prometheus(std::string& out, const pipeline::PipelineStats& stats);
+
+}  // namespace vpm::telemetry

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 namespace vpm::util {
 
@@ -21,6 +22,15 @@ class Timer {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+// Raw steady-clock nanoseconds for timestamp plumbing (ring-dwell stamps)
+// where carrying a Timer object per item would be clumsy.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Zero-cost stand-in for Timer in templated code whose non-instrumented
 // instantiation must not pay clock reads (hot small-packet scan paths).

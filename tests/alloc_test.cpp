@@ -10,11 +10,13 @@
 #include <cstdlib>
 #include <iterator>
 #include <new>
+#include <string>
 #include <vector>
 
 #include "core/matcher_factory.hpp"
 #include "helpers.hpp"
 #include "ids/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -157,6 +159,81 @@ TEST(AllocTest, EngineStageFlushSteadyStateIsAllocationFree) {
   EXPECT_EQ(after, before) << "engine batch loop allocated in steady state ("
                            << seed_note() << ")";
   EXPECT_GT(sink.alerts, 0u) << "workload must produce alerts to be meaningful";
+}
+
+// Telemetry record paths: counter add, gauge set, histogram record — the
+// operations the scan path performs once instruments are registered — must
+// never allocate.  Registration may (and does) allocate; that is setup.
+TEST(AllocTest, TelemetryRecordPathIsAllocationFree) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& counter =
+      registry.counter("alloc_test_ops_total", "ops", {{"worker", "0"}});
+  telemetry::Gauge& gauge = registry.gauge("alloc_test_depth", "depth");
+  telemetry::Histogram& latency =
+      registry.histogram("alloc_test_latency_seconds", "lat",
+                         telemetry::latency_buckets_seconds(), {{"worker", "0"}});
+  telemetry::Histogram& sizes = registry.histogram(
+      "alloc_test_bytes", "sz", telemetry::size_buckets_bytes(), {{"worker", "0"}});
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    counter.add(3);
+    gauge.set(i);
+    latency.record(static_cast<double>(i % 977) * 1e-6);
+    sizes.record(static_cast<double>((i * 131) % 65536));
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "telemetry record path allocated";
+  EXPECT_EQ(counter.value(), 300000u);
+  EXPECT_EQ(latency.snapshot().count, 100000u);
+}
+
+// Engine-level with instruments installed: the flush-latency histogram and
+// per-group counters ride the batch loop without breaking its zero-alloc
+// steady state (the contract PipelineConfig::metrics documents).
+TEST(AllocTest, EngineWithTelemetrySteadyStateIsAllocationFree) {
+  const auto rules = testutil::random_set(200, 6, case_seed(303));
+  ids::IdsEngine engine(rules, {core::Algorithm::vpatch});
+  CountingAlertSink sink;
+
+  telemetry::MetricsRegistry registry;
+  ids::EngineTelemetry et;
+  et.flush_latency = &registry.histogram(
+      "vpm_scan_latency_seconds", "lat", telemetry::latency_buckets_seconds());
+  for (std::size_t gi = 0; gi < ids::kEngineGroupCount; ++gi) {
+    const std::string group(pattern::group_name(static_cast<pattern::Group>(gi)));
+    et.group_scan_bytes[gi] =
+        &registry.counter("vpm_group_scan_bytes_total", "b", {{"group", group}});
+    et.group_alerts[gi] =
+        &registry.counter("vpm_group_alerts_total", "a", {{"group", group}});
+  }
+  engine.set_telemetry(et);
+
+  const util::Bytes pool = testutil::random_text(1 << 16, case_seed(304));
+  const pattern::Group groups[] = {pattern::Group::http, pattern::Group::generic,
+                                   pattern::Group::dns};
+  const std::size_t sizes[] = {1500, 700, 256, 64, 1};
+
+  const auto drive = [&](int round) {
+    for (std::uint64_t flow = 0; flow < 6; ++flow) {
+      const std::size_t size = sizes[(round + flow) % std::size(sizes)];
+      const std::size_t offset = ((round * 131 + flow * 977) % (pool.size() - 1500));
+      engine.stage(flow, groups[flow % std::size(groups)],
+                   {pool.data() + offset, size}, sink);
+    }
+    engine.flush_batch(sink);
+  };
+
+  for (int round = 0; round < 10; ++round) drive(round);  // warm-up
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) drive(round);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "instrumented engine batch loop allocated ("
+                           << seed_note() << ")";
+  const telemetry::Histogram* h = registry.find_histogram("vpm_scan_latency_seconds", {});
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->snapshot().count, 0u) << "flush latency must have been recorded";
 }
 
 }  // namespace
