@@ -48,6 +48,7 @@
 #include "telemetry/ndjson_sink.hpp"
 #include "telemetry/pipeline_metrics.hpp"
 #include "util/byte_io.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -63,6 +64,10 @@ struct SensorOptions {
   int metrics_port = -1;          // >= 0: serve /metrics on this port (0 = ephemeral)
   unsigned serve_seconds = 0;     // keep the /metrics endpoint up after the run
   std::string alert_json;         // non-empty: NDJSON alert file
+  pipeline::OverloadConfig overload;  // degradation ladder (disabled by default)
+  std::string overload_name = "off";
+  std::string fail_spec;          // non-empty: arm failpoints (chaos runs)
+  std::uint64_t fail_seed = 1;
 };
 
 // Registers each directional flow with the NDJSON sink as the producer first
@@ -111,6 +116,7 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   pipeline::PipelineConfig cfg;
   cfg.workers = opt.workers;
   cfg.reassembly = opt.reassembly;
+  cfg.overload = opt.overload;
   if (opt.batch_packets > 0) cfg.batch_packets = opt.batch_packets;
   if (opt.metrics_port >= 0) cfg.metrics = &registry;
 
@@ -201,9 +207,11 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 
   const auto stats = rt.stats();
   const auto totals = stats.totals();
-  std::printf("%zu packets (skipped %zu), batch %zu, overlap policy %s\n",
+  std::printf("%zu packets (skipped %zu), batch %zu, overlap policy %s, "
+              "overload policy %s\n",
               parsed.packets.size(), parsed.skipped_records, cfg.batch_packets,
-              net::overlap_policy_name(opt.reassembly.overlap));
+              net::overlap_policy_name(opt.reassembly.overlap),
+              opt.overload_name.c_str());
   // The one shared stats formatter (every WorkerStats field, totals + per
   // worker) — the same field table the /metrics endpoint renders from.
   std::fputs(telemetry::describe_pipeline_stats(stats).c_str(), stdout);
@@ -328,7 +336,8 @@ std::string algo_names() {
 void print_usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--swap-after=N] "
-               "[--overlap-policy=NAME] [--metrics-port=N] [--serve-seconds=N] "
+               "[--overlap-policy=NAME] [--overload-policy=NAME] [--fail=SPEC] "
+               "[--fail-seed=N] [--metrics-port=N] [--serve-seconds=N] "
                "[--alert-json=FILE] <capture.pcap> [rules.rules]  |  %s --demo\n"
                "  --algo=NAME      matcher engine (default v-patch); available on "
                "this CPU:\n                   %s\n"
@@ -336,6 +345,11 @@ void print_usage(const char* prog) {
                "database after N packets\n"
                "  --overlap-policy=NAME  segment-overlap arbitration: "
                "first|last|target_bsd|target_linux (default first)\n"
+               "  --overload-policy=NAME with --workers: graceful-degradation "
+               "ladder: off|conservative|aggressive (default off)\n"
+               "  --fail=SPEC      arm deterministic failpoints, e.g. "
+               "ring_push=every:100,alert_sink_write=prob:0.01\n"
+               "  --fail-seed=N    seed for probabilistic failpoint modes\n"
                "  --metrics-port=N with --workers: serve Prometheus /metrics and "
                "/healthz on port N (0 = ephemeral)\n"
                "  --serve-seconds=N      keep /metrics up N seconds after the run\n"
@@ -371,6 +385,21 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[i] + 16, nullptr, 10));
     } else if (std::strncmp(argv[i], "--alert-json=", 13) == 0) {
       opt.alert_json = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--overload-policy=", 18) == 0) {
+      const auto policy = pipeline::overload_policy_from_name(argv[i] + 18);
+      if (!policy) {
+        std::fprintf(stderr,
+                     "unknown --overload-policy=%s; expected "
+                     "off|conservative|aggressive\n",
+                     argv[i] + 18);
+        return 2;
+      }
+      opt.overload = *policy;
+      opt.overload_name = argv[i] + 18;
+    } else if (std::strncmp(argv[i], "--fail=", 7) == 0) {
+      opt.fail_spec = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--fail-seed=", 12) == 0) {
+      opt.fail_seed = std::strtoull(argv[i] + 12, nullptr, 10);
     } else if (std::strncmp(argv[i], "--overlap-policy=", 17) == 0) {
       const auto policy = net::overlap_policy_from_name(argv[i] + 17);
       if (!policy) {
@@ -414,7 +443,23 @@ int main(int argc, char** argv) {
                    "add --workers=N\n");
     }
   }
-  if (demo) return run_demo(opt);
+  // Chaos arming before any pipeline runs, so the failure paths of BOTH the
+  // single-threaded and the sharded sensor can be exercised from the CLI
+  // (equivalent to VPM_FAILPOINTS=<spec> in the environment).
+  if (!opt.fail_spec.empty()) {
+    const std::string err = util::failpoint::arm(opt.fail_spec, opt.fail_seed);
+    if (!err.empty()) {
+      std::fprintf(stderr, "bad --fail=%s: %s\n", opt.fail_spec.c_str(), err.c_str());
+      return 2;
+    }
+  }
+  const auto finish = [](int rc) {
+    if (util::failpoint::any_armed()) {
+      std::printf("failpoints:\n%s", util::failpoint::describe().c_str());
+    }
+    return rc;
+  };
+  if (demo) return finish(run_demo(opt));
   if (positional.empty()) {
     print_usage(argv[0]);
     return 2;
@@ -427,6 +472,6 @@ int main(int argc, char** argv) {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return opt.workers > 0 ? run_sharded(pcap, rules, opt)
-                         : run(pcap, rules, opt.algo, opt.reassembly);
+  return finish(opt.workers > 0 ? run_sharded(pcap, rules, opt)
+                                : run(pcap, rules, opt.algo, opt.reassembly));
 }

@@ -1,0 +1,25 @@
+// Fuzz target: the pcap decoder (net/pcap.cpp).
+//
+// Contract under arbitrary bytes: read_pcap either returns (skipping and
+// counting malformed records) or throws std::invalid_argument for an
+// unusable global header — never crashes, never reads out of bounds, never
+// allocates proportionally to a lying length field.  Whatever it accepts
+// must survive re-serialization (the decoded packets are well-formed by
+// construction).
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/pcap.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    const vpm::net::PcapParseResult result = vpm::net::read_pcap({data, size});
+    if (!result.packets.empty()) {
+      (void)vpm::net::write_pcap(result.packets);
+    }
+  } catch (const std::invalid_argument&) {
+    // Structured rejection is the contract for a hostile header.
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Fuzz target: the pattern-database deserializer (pattern/serialize.cpp).
+//
+// Contract under arbitrary bytes: deserialize_patterns either returns a
+// valid set or throws std::invalid_argument — never crashes, never trusts a
+// crafted count or length field, never over-reads.  Accepted sets must
+// round-trip bit-exactly through serialize.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "pattern/serialize.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  try {
+    vpm::pattern::DbHeader header;
+    const vpm::pattern::PatternSet set =
+        vpm::pattern::deserialize_patterns({data, size}, &header);
+    (void)vpm::pattern::serialize_patterns(set);
+  } catch (const std::invalid_argument&) {
+    // Structured rejection is the contract.
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz target: the Snort rule-text parser (pattern/snort_rules.cpp).
+//
+// Contract under arbitrary text: parse_rules never throws (malformed lines
+// are counted, not fatal) and never lets one line allocate beyond the
+// defensive ceilings; anything it accepts survives the pattern-set and
+// serialization round trip.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "pattern/serialize.hpp"
+#include "pattern/snort_rules.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::size_t skipped = 0;
+  const auto rules = vpm::pattern::parse_rules(text, &skipped);
+  (void)rules;
+
+  const vpm::pattern::PatternSet set =
+      vpm::pattern::patterns_from_rules(text, vpm::pattern::ContentSelection::kAll);
+  if (set.size() > 0) {
+    const vpm::util::Bytes blob = vpm::pattern::serialize_patterns(set);
+    (void)vpm::pattern::deserialize_patterns(blob);
+  }
+  return 0;
+}

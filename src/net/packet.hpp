@@ -61,6 +61,14 @@ struct FiveTuple {
   std::uint64_t conn_hash() const { return canonical().hash(); }
 };
 
+// Upper bound any decoder should accept for one packet's payload: the IPv4
+// total-length ceiling.  Nothing legitimate exceeds it, so inputs claiming
+// more are crafted (or corrupt) and get rejected up front instead of turning
+// into attacker-sized allocations.
+inline constexpr std::size_t kMaxSanePayload = 65535;
+
+constexpr bool payload_size_sane(std::size_t n) { return n <= kMaxSanePayload; }
+
 struct Packet {
   std::uint64_t timestamp_us = 0;
   FiveTuple tuple;

@@ -116,14 +116,27 @@ PcapParseResult read_pcap(util::ByteView data) {
 
   PcapParseResult result;
   std::size_t off = 24;
-  while (off + 16 <= data.size()) {
+  // Every bound below is subtraction-form (`len > size - off` with off <=
+  // size already established) so a crafted length can never overflow the
+  // comparison, and every malformed record is SKIPPED and counted — one bad
+  // record must not take down a capture worth of good ones.
+  while (data.size() - off >= 16) {
     const std::uint32_t ts_sec = get_u32le(data.data() + off);
     const std::uint32_t ts_usec = get_u32le(data.data() + off + 4);
     const std::uint32_t cap_len = get_u32le(data.data() + off + 8);
     off += 16;
-    if (off + cap_len > data.size()) {
+    if (cap_len > data.size() - off) {
+      // Truncated (or length-lying) trailing record; nothing after it can be
+      // framed.
       ++result.skipped_records;
       break;
+    }
+    if (cap_len > kEthLen + kMaxSanePayload) {
+      // Larger than any Ethernet frame carrying a max-size IPv4 datagram;
+      // skip the claimed extent rather than trusting its contents.
+      ++result.skipped_records;
+      off += cap_len;
+      continue;
     }
     const std::uint8_t* frame = data.data() + off;
     off += cap_len;
@@ -164,9 +177,17 @@ PcapParseResult read_pcap(util::ByteView data) {
       pkt.payload.assign(l4 + data_off, l4 + l4_avail);
     } else {
       if (l4_avail < kUdpLen) { ++result.skipped_records; continue; }
+      // The UDP header carries its own length; honor it, but only when it is
+      // consistent with the IP framing — a datagram claiming more bytes than
+      // the IP layer delivered (or fewer than its own header) is crafted.
+      const std::uint16_t udp_len = get_u16be(l4 + 4);
+      if (udp_len < kUdpLen || udp_len > l4_avail) {
+        ++result.skipped_records;
+        continue;
+      }
       pkt.tuple.src_port = get_u16be(l4);
       pkt.tuple.dst_port = get_u16be(l4 + 2);
-      pkt.payload.assign(l4 + kUdpLen, l4 + l4_avail);
+      pkt.payload.assign(l4 + kUdpLen, l4 + udp_len);
     }
     result.packets.push_back(std::move(pkt));
   }

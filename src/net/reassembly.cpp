@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/metrics.hpp"
+#include "util/failpoint.hpp"
 
 namespace vpm::net {
 
@@ -211,7 +212,10 @@ bool TcpReassembler::insert_piece(ConnectionState& conn, StreamState& side,
                                   std::uint64_t begin, const std::uint8_t* src,
                                   std::size_t len) {
   if (len == 0) return true;
-  if (pending_total(conn) + len > cfg_.max_buffered_bytes) {
+  // Chaos hook first: an injected "budget exhausted" takes the identical
+  // code path (and counters) as the real one.
+  if (util::failpoint::should_fail(util::failpoint::Site::reassembly_buffer) ||
+      pending_total(conn) + len > cfg_.max_buffered_bytes) {
     ++stats_.dropped_segments;
     return false;
   }

@@ -42,9 +42,20 @@ void append_patterns(util::Bytes& out, const PatternSet& set) {
 }
 
 PatternSet parse_patterns(util::ByteView data, std::size_t off, std::uint32_t count) {
+  if (off > data.size()) throw std::invalid_argument("pattern db: truncated header");
+  // Plausibility gate before trusting `count`: every pattern costs at least
+  // 7 bytes (6-byte entry header + 1 payload byte), so a count the remaining
+  // bytes cannot possibly hold is a lie — reject it up front instead of
+  // letting a crafted header drive a 4-billion-iteration loop (or a
+  // proportional reserve) against a 30-byte file.
+  if (count > (data.size() - off) / 7) {
+    throw std::invalid_argument("pattern db: implausible pattern count");
+  }
   PatternSet set;
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (off + 6 > data.size()) throw std::invalid_argument("pattern db: truncated header");
+    // Subtraction-form bounds: off <= data.size() holds on entry to every
+    // iteration, so neither comparison can overflow however `len` lies.
+    if (data.size() - off < 6) throw std::invalid_argument("pattern db: truncated header");
     const std::uint32_t len = get_u32(data.data() + off);
     const std::uint8_t flags = data[off + 4];
     const std::uint8_t group = data[off + 5];
@@ -54,7 +65,7 @@ PatternSet parse_patterns(util::ByteView data, std::size_t off, std::uint32_t co
     if (group >= static_cast<std::uint8_t>(Group::count)) {
       throw std::invalid_argument("pattern db: invalid group");
     }
-    if (off + len > data.size()) throw std::invalid_argument("pattern db: truncated bytes");
+    if (len > data.size() - off) throw std::invalid_argument("pattern db: truncated bytes");
     set.add(util::Bytes(data.begin() + static_cast<long>(off),
                         data.begin() + static_cast<long>(off + len)),
             flags & 1, static_cast<Group>(group));

@@ -7,6 +7,13 @@ namespace vpm::pattern {
 
 namespace {
 
+// Defensive ceilings for attacker-supplied rule text.  Real Snort contents
+// are tens of bytes; real rule lines are a few hundred.  Anything past these
+// is crafted or corrupt, and a parse_rules caller sees it as one counted bad
+// line instead of an unbounded allocation.
+constexpr std::size_t kMaxContentBytes = 64 * 1024;
+constexpr std::size_t kMaxRuleLineBytes = 1 << 20;
+
 bool is_hex_digit(char c) { return std::isxdigit(static_cast<unsigned char>(c)) != 0; }
 
 int hex_value(char c) {
@@ -29,6 +36,9 @@ util::Bytes decode_content(std::string_view body) {
         throw std::invalid_argument("bad hex run in content");
       }
       out.push_back(static_cast<std::uint8_t>(hex_value(c) * 16 + hex_value(body[i + 1])));
+      if (out.size() > kMaxContentBytes) {
+        throw std::invalid_argument("content exceeds size limit");
+      }
       ++i;
       continue;
     }
@@ -39,8 +49,12 @@ util::Bytes decode_content(std::string_view body) {
       continue;
     }
     out.push_back(static_cast<std::uint8_t>(c));
+    if (out.size() > kMaxContentBytes) {
+      throw std::invalid_argument("content exceeds size limit");
+    }
   }
   if (in_hex) throw std::invalid_argument("unterminated hex run in content");
+  if (out.empty()) throw std::invalid_argument("empty content");
   return out;
 }
 
@@ -61,6 +75,9 @@ Group classify_header(std::string_view header) {
 }  // namespace
 
 bool parse_rule_line(std::string_view line, ParsedRule& out) {
+  if (line.size() > kMaxRuleLineBytes) {
+    throw std::invalid_argument("rule line exceeds size limit");
+  }
   // Strip leading whitespace.
   std::size_t begin = line.find_first_not_of(" \t\r\n");
   if (begin == std::string_view::npos) return false;

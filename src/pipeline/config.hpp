@@ -15,6 +15,7 @@
 #include "ids/alert.hpp"
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
+#include "pipeline/overload.hpp"
 
 namespace vpm::telemetry {
 class MetricsRegistry;
@@ -74,6 +75,23 @@ struct PipelineConfig {
   std::size_t eviction_sweep_packets = 512;  // packets between sweeps
 
   net::ReassemblyLimits reassembly{};
+
+  // Graceful degradation under overload (see pipeline/overload.hpp for the
+  // ladder).  Disabled by default: the pipeline then behaves exactly as
+  // before — block or drop at the ring, full fidelity everywhere else.
+  OverloadConfig overload{};
+
+  // Worker liveness watchdog.  0 disables (no sampler thread).  A worker
+  // whose heartbeat stays flat for watchdog_stall_intervals consecutive
+  // samples counts one stall episode in stats().watchdog_stalls.
+  std::uint64_t watchdog_interval_ms = 0;
+  unsigned watchdog_stall_intervals = 5;
+
+  // Alert-sink containment: after this many CONSECUTIVE delivery failures
+  // (exceptions from cfg.alert_sink) the worker quarantines the sink —
+  // further alerts are counted and dropped instead of risking a wedged or
+  // crashing engine.  One successful delivery resets the streak.
+  unsigned sink_quarantine_after = 8;
 
   // Optional live alert delivery.  Called from worker threads concurrently;
   // the sink must be thread-safe.  When null, alerts are buffered per worker

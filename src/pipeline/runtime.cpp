@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "util/failpoint.hpp"
+
 namespace vpm::pipeline {
 
 PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg)
@@ -36,6 +38,12 @@ void PipelineRuntime::swap_database(DatabasePtr db) {
   if (db == nullptr) {
     throw std::invalid_argument("PipelineRuntime::swap_database: null database");
   }
+  // Chaos hook: a publish that fails BEFORE the channel store must leave the
+  // previous generation fully live (workers keep scanning; no packet drops).
+  if (util::failpoint::should_fail(util::failpoint::Site::hot_swap_publish)) {
+    throw std::runtime_error(
+        "PipelineRuntime::swap_database: injected publish failure (failpoint)");
+  }
   // Control-plane compile; the scan path never blocks on it.  publish()
   // orders the slot write before the seq bump, pairing with the workers'
   // seq-then-slot reads: observing the bump implies observing the rules.
@@ -67,6 +75,16 @@ void PipelineRuntime::start() {
     throw std::logic_error("PipelineRuntime::start: runtime is one-shot");
   }
   for (auto& w : workers_) w->start();
+  if (cfg_.watchdog_interval_ms > 0) {
+    Watchdog::Config wc;
+    wc.interval_ms = cfg_.watchdog_interval_ms;
+    wc.stall_intervals = cfg_.watchdog_stall_intervals;
+    watchdog_ = std::make_unique<Watchdog>(wc);
+    for (auto& w : workers_) {
+      watchdog_->watch({&w->heartbeat_counter(), &w->finished_flag()});
+    }
+    watchdog_->start();
+  }
   running_ = true;
 }
 
@@ -97,6 +115,9 @@ void PipelineRuntime::stop() {
   // and then finds its ring empty has truly consumed everything.
   for (auto& w : workers_) w->request_stop();
   for (auto& w : workers_) w->join();
+  // After the joins: the workers' finished flags are set, so stopping the
+  // sampler here can never miss a real stall or flag a false one.
+  if (watchdog_ != nullptr) watchdog_->stop();
   for (auto& w : workers_) {
     std::vector<ids::Alert>& a = w->alerts();
     alerts_.insert(alerts_.end(), a.begin(), a.end());
@@ -114,6 +135,13 @@ PipelineStats PipelineRuntime::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.routed = router_->routed();
   s.dropped_backpressure = router_->dropped();
+  if (watchdog_ != nullptr) s.watchdog_stalls = watchdog_->stalls();
+  for (const auto& w : workers_) {
+    if (w->failed()) {
+      ++s.worker_failures;
+      s.errors.push_back(w->error());
+    }
+  }
   return s;
 }
 

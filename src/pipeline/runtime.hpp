@@ -41,6 +41,7 @@
 #include "pipeline/config.hpp"
 #include "pipeline/shard_router.hpp"
 #include "pipeline/stats.hpp"
+#include "pipeline/watchdog.hpp"
 #include "pipeline/worker.hpp"
 
 namespace vpm::pipeline {
@@ -126,6 +127,7 @@ class PipelineRuntime {
   RulesChannel rules_channel_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<Watchdog> watchdog_;  // null when cfg.watchdog_interval_ms == 0
   std::vector<ids::Alert> alerts_;
   std::atomic<std::uint64_t> submitted_{0};
   bool running_ = false;

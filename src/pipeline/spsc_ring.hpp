@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/failpoint.hpp"
+
 namespace vpm::pipeline {
 
 template <typename T>
@@ -34,6 +36,9 @@ class SpscRing {
   // Producer side.  Moves `item` in on success; leaves it untouched when the
   // ring is full.
   bool try_push(T& item) {
+    // Chaos hook: report "full" without touching the item — callers follow
+    // their real backpressure path (block retries, drop counts the loss).
+    if (util::failpoint::should_fail(util::failpoint::Site::ring_push)) return false;
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ >= capacity()) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -46,6 +51,9 @@ class SpscRing {
 
   // Consumer side.
   bool try_pop(T& out) {
+    // Chaos hook: report "empty" (a consumer hiccup); nothing is lost — the
+    // batch is popped on a later attempt.
+    if (util::failpoint::should_fail(util::failpoint::Site::ring_pop)) return false;
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace vpm::pipeline {
@@ -45,6 +46,19 @@ struct WorkerStats {
   std::uint64_t active_flows = 0;    // gauge: engine flows currently holding state
   std::uint64_t rules_generation = 0;  // gauge: ruleset generation this worker runs
   std::uint64_t rules_swaps = 0;       // gauge: hot-swaps this worker has adopted
+  // Overload / robustness accounting.  The drain identity after stop():
+  //   packets == processed_packets + shed_packets        (per worker)
+  //   routed  == Σ packets                               (across workers)
+  // i.e. every packet that entered a ring was either fully processed or shed
+  // under the degradation ladder / failure drain — never silently lost.
+  std::uint64_t processed_packets = 0;  // packets fully handled (not shed)
+  std::uint64_t shed_packets = 0;       // packets discarded by the ladder/drain
+  std::uint64_t shed_bytes = 0;         // payload bytes of shed packets
+  std::uint64_t degradation_level = 0;  // gauge: current ladder rung (0..3)
+  std::uint64_t degradation_transitions = 0;  // ladder moves (either direction)
+  std::uint64_t heartbeats = 0;         // worker loop iterations (liveness)
+  std::uint64_t sink_errors = 0;        // alert-sink deliveries that threw
+  std::uint64_t sink_quarantined = 0;   // gauge: 1 when the sink is quarantined
 
   // THE single enumeration of every field, with its name and kind.  Every
   // stats surface (totals() aggregation below, the human formatter and the
@@ -75,11 +89,20 @@ struct WorkerStats {
     f("active_flows", StatKind::gauge, &WorkerStats::active_flows);
     f("rules_generation", StatKind::gauge_max, &WorkerStats::rules_generation);
     f("rules_swaps", StatKind::gauge_max, &WorkerStats::rules_swaps);
+    f("processed_packets", StatKind::counter, &WorkerStats::processed_packets);
+    f("shed_packets", StatKind::counter, &WorkerStats::shed_packets);
+    f("shed_bytes", StatKind::counter, &WorkerStats::shed_bytes);
+    f("degradation_level", StatKind::gauge_max, &WorkerStats::degradation_level);
+    f("degradation_transitions", StatKind::counter,
+      &WorkerStats::degradation_transitions);
+    f("heartbeats", StatKind::counter, &WorkerStats::heartbeats);
+    f("sink_errors", StatKind::counter, &WorkerStats::sink_errors);
+    f("sink_quarantined", StatKind::gauge, &WorkerStats::sink_quarantined);
   }
 
-  // 19 uint64 fields.  If this fires you added a field: list it in
+  // 27 uint64 fields.  If this fires you added a field: list it in
   // for_each_field (pick its StatKind deliberately) and bump the count.
-  static constexpr std::size_t kFieldCount = 19;
+  static constexpr std::size_t kFieldCount = 27;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     for_each_field([&](const char*, StatKind kind, auto member) {
@@ -105,6 +128,11 @@ struct PipelineStats {
   std::uint64_t submitted = 0;             // packets handed to submit()
   std::uint64_t routed = 0;                // packets pushed into some ring
   std::uint64_t dropped_backpressure = 0;  // packets discarded (drop policy)
+  std::uint64_t watchdog_stalls = 0;       // stall episodes the watchdog flagged
+  std::uint64_t worker_failures = 0;       // workers that died and drained
+  // One human-readable line per contained failure (worker exceptions); the
+  // engine keeps running — these are for the operator, not control flow.
+  std::vector<std::string> errors;
 
   // Aggregation follows each field's StatKind: counters and gauges sum
   // (point-in-time gauges like active_flows sum to the fleet-wide level of

@@ -1,0 +1,67 @@
+#include "pipeline/watchdog.hpp"
+
+#include <chrono>
+
+namespace vpm::pipeline {
+
+void Watchdog::start() {
+  if (thread_.joinable() || watched_.empty()) return;
+  samples_.assign(watched_.size(), Sample{});
+  for (std::size_t i = 0; i < watched_.size(); ++i) {
+    samples_[i].last_beat = watched_[i].heartbeat->load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(cfg_.interval_ms),
+                     [this] { return stopping_; })) {
+      return;
+    }
+    // Sampling needs no lock (heartbeats are atomics; samples_ is ours), but
+    // holding it across the short pass is harmless and keeps stop() simple.
+    std::uint64_t stalled_now = 0;
+    for (std::size_t i = 0; i < watched_.size(); ++i) {
+      Sample& s = samples_[i];
+      const std::uint64_t beat = watched_[i].heartbeat->load(std::memory_order_relaxed);
+      if (beat != s.last_beat) {
+        s.last_beat = beat;
+        s.flat = 0;
+        s.in_stall = false;
+        continue;
+      }
+      if (watched_[i].finished->load(std::memory_order_acquire)) {
+        // Clean exit: a flat heartbeat is expected, not a stall.
+        s.flat = 0;
+        s.in_stall = false;
+        continue;
+      }
+      if (++s.flat >= cfg_.stall_intervals) {
+        if (!s.in_stall) {
+          s.in_stall = true;
+          stalls_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++stalled_now;
+        s.flat = cfg_.stall_intervals;  // saturate; avoid overflow on long wedges
+      }
+    }
+    stalled_now_.store(stalled_now, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace vpm::pipeline

@@ -1,0 +1,86 @@
+// Worker liveness watchdog.
+//
+// Every worker bumps a relaxed heartbeat counter once per loop iteration —
+// including idle spins, so a heartbeat only stops advancing when the thread
+// is genuinely wedged inside a batch (a sink blocking forever, a stuck
+// syscall, an engine livelock).  The watchdog thread samples all heartbeats
+// every interval_ms; a worker whose heartbeat has not advanced for
+// stall_intervals consecutive samples (and whose finished flag is unset)
+// enters the "stalled" state, counted ONCE per episode — when the heartbeat
+// advances again the episode ends and a later wedge counts as a new one.
+//
+// The watchdog observes and counts; it never kills a thread (there is no
+// safe way to reclaim a wedged thread's engine state mid-scan).  Containment
+// of the common wedge cause — a misbehaving alert sink — is the GuardedSink
+// quarantine in the worker itself; the watchdog is the backstop that makes
+// any remaining stall visible in stats()/metrics instead of silent.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpm::pipeline {
+
+class Watchdog {
+ public:
+  struct Config {
+    std::uint64_t interval_ms = 100;   // sample period
+    unsigned stall_intervals = 5;      // flat samples before a stall is flagged
+  };
+
+  // One monitored thread: the heartbeat it bumps and the flag it sets on
+  // clean exit.  Both must outlive the watchdog.
+  struct Watched {
+    const std::atomic<std::uint64_t>* heartbeat = nullptr;
+    const std::atomic<bool>* finished = nullptr;
+  };
+
+  explicit Watchdog(Config cfg) : cfg_(cfg) {
+    if (cfg_.interval_ms == 0) cfg_.interval_ms = 1;
+    if (cfg_.stall_intervals == 0) cfg_.stall_intervals = 1;
+  }
+  ~Watchdog() { stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Call before start(); not thread-safe against a running watchdog.
+  void watch(Watched w) { watched_.push_back(w); }
+
+  void start();
+  void stop();  // idempotent; joins the sampler thread
+
+  // Stall episodes flagged so far (cumulative), and how many workers are in
+  // a stall episode right now.
+  std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  std::uint64_t currently_stalled() const {
+    return stalled_now_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  Config cfg_;
+  std::vector<Watched> watched_;
+
+  struct Sample {
+    std::uint64_t last_beat = 0;
+    unsigned flat = 0;       // consecutive samples with no advance
+    bool in_stall = false;   // episode already counted
+  };
+  std::vector<Sample> samples_;
+
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> stalled_now_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace vpm::pipeline

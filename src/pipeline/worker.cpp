@@ -1,13 +1,34 @@
 #include "pipeline/worker.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 
 #include "ids/pcap_pipeline.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace vpm::pipeline {
+
+void GuardedSink::on_alert(const ids::Alert& alert) {
+  if (quarantined_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  try {
+    if (util::failpoint::should_fail(util::failpoint::Site::alert_sink_write)) {
+      throw std::runtime_error("injected alert-sink failure (failpoint)");
+    }
+    inner_->on_alert(alert);
+    consecutive_ = 0;
+  } catch (...) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    if (++consecutive_ >= quarantine_after_) {
+      quarantined_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
 
 Worker::Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
                const RulesChannel* swaps)
@@ -27,8 +48,12 @@ Worker::Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
           },
           cfg.reassembly),
       engine_(std::move(rules)),
-      sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_),
-      swaps_(swaps) {
+      guarded_sink_(cfg.alert_sink != nullptr ? cfg.alert_sink : &buffer_sink_,
+                    cfg.sink_quarantine_after),
+      sink_(&guarded_sink_),
+      swaps_(swaps),
+      overload_(cfg.overload),
+      base_buffered_budget_(cfg.reassembly.max_buffered_bytes) {
   // Connection end (FIN completion, RST, close, eviction) is a stream
   // boundary: scan anything still staged under the dying streams, then drop
   // both sides' scanner state so a reused tuple starts a fresh stream.  This
@@ -90,6 +115,27 @@ void Worker::join() {
 }
 
 void Worker::run() {
+  // Containment boundary: anything the loop throws (engine bug, OOM on one
+  // flow, an injected worker_batch fault) is recorded and the ring is then
+  // DRAINED (everything counted as shed) instead of abandoned — under the
+  // block backpressure policy an abandoned ring would wedge the producer and
+  // with it every healthy shard.
+  try {
+    run_loop();
+  } catch (const std::exception& e) {
+    error_ = std::string("worker failure: ") + e.what();
+    failed_.store(true, std::memory_order_release);
+    drain_after_failure();
+  } catch (...) {
+    error_ = "worker failure: non-standard exception";
+    failed_.store(true, std::memory_order_release);
+    drain_after_failure();
+  }
+  publish_stats();
+  finished_.store(true, std::memory_order_release);
+}
+
+void Worker::run_loop() {
   PacketBatch batch;
   unsigned idle_spins = 0;
   // Dwell/fill accounting for a just-popped batch; a no-op (and no clock
@@ -102,6 +148,10 @@ void Worker::run() {
     }
   };
   for (;;) {
+    // Liveness: one bump per iteration, idle included — a flat heartbeat
+    // therefore means the thread is wedged inside a batch, not merely idle.
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    apply_overload();
     if (ring_.try_pop(batch)) {
       record_pop(batch);
       // Adopt AFTER the pop: the producer publishes a new generation before
@@ -135,7 +185,39 @@ void Worker::run() {
       idle_spins = 0;
     }
   }
-  publish_stats();
+}
+
+void Worker::drain_after_failure() {
+  // The engine is in an unknown state; do not touch it.  Keep consuming so
+  // the producer never blocks on this shard, counting every packet as shed —
+  // the drain identity (packets == processed + shed) keeps holding, it just
+  // attributes the loss honestly.
+  PacketBatch batch;
+  const auto shed_batch = [this](const PacketBatch& b) {
+    for (const net::Packet& p : b) {
+      published_.packets.fetch_add(1, std::memory_order_relaxed);
+      published_.payload_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+      published_.shed_packets.fetch_add(1, std::memory_order_relaxed);
+      published_.shed_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+    }
+  };
+  for (;;) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    if (ring_.try_pop(batch)) {
+      shed_batch(batch);
+      batch.clear();
+      continue;
+    }
+    if (done_.load(std::memory_order_acquire)) {
+      if (ring_.try_pop(batch)) {
+        shed_batch(batch);
+        batch.clear();
+        continue;
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
 }
 
 void Worker::maybe_adopt_rules() {
@@ -155,20 +237,85 @@ void Worker::maybe_adopt_rules() {
   published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
 }
 
+void Worker::apply_overload() {
+  if (!cfg_.overload.enabled) return;
+  const double fill = static_cast<double>(ring_.size_approx()) /
+                      static_cast<double>(ring_.capacity());
+  const DegradationLevel prev = overload_.level();
+  const DegradationLevel now = overload_.update(fill);
+  if (now == prev) return;
+  published_.degradation_level.store(static_cast<std::uint64_t>(now),
+                                     std::memory_order_relaxed);
+  published_.degradation_transitions.store(overload_.transitions(),
+                                           std::memory_order_relaxed);
+  // Rung 1+: shrink (or on descent restore) the reassembly buffering budget.
+  if (now >= DegradationLevel::shrink_budgets) {
+    const auto shrunk = static_cast<std::size_t>(
+        cfg_.overload.budget_factor * static_cast<double>(base_buffered_budget_));
+    reassembler_.set_max_buffered_bytes(std::max<std::size_t>(1, shrunk));
+  } else {
+    reassembler_.set_max_buffered_bytes(base_buffered_budget_);
+  }
+  // Leaving rung 3 ends the shed episode: forget its flow byte counts so
+  // the next episode judges flows on fresh behavior (and the map stays
+  // empty in normal operation).
+  if (now < DegradationLevel::shed_load) shed_flow_bytes_.clear();
+}
+
 void Worker::process(PacketBatch& batch) {
-  for (net::Packet& p : batch) handle_packet(p);
-  // One deferred scan round over everything the batch staged — the batch
-  // fast path that amortizes filter setup and candidate storage across all
-  // of the batch's small payloads.
-  engine_.flush_batch(*sink_);
+  std::size_t handled = 0;
+  try {
+    if (util::failpoint::should_fail(util::failpoint::Site::worker_batch)) {
+      throw std::runtime_error("injected batch-processing failure (failpoint)");
+    }
+    for (net::Packet& p : batch) {
+      handle_packet(p);
+      ++handled;
+    }
+    // One deferred scan round over everything the batch staged — the batch
+    // fast path that amortizes filter setup and candidate storage across all
+    // of the batch's small payloads.
+    engine_.flush_batch(*sink_);
+  } catch (...) {
+    // Account the packets handle_packet never saw as consumed-and-shed, so
+    // the drain identity survives a mid-batch failure; then let run()'s
+    // containment boundary take over.
+    for (std::size_t i = handled; i < batch.size(); ++i) {
+      const net::Packet& p = batch.packets[i];
+      published_.packets.fetch_add(1, std::memory_order_relaxed);
+      published_.payload_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+      published_.shed_packets.fetch_add(1, std::memory_order_relaxed);
+      published_.shed_bytes.fetch_add(p.payload.size(), std::memory_order_relaxed);
+    }
+    throw;
+  }
   published_.batches.fetch_add(1, std::memory_order_relaxed);
   publish_stats();
+}
+
+bool Worker::should_shed(const net::Packet& packet) {
+  if (overload_.level() != DegradationLevel::shed_load) return false;
+  const OverloadConfig& oc = cfg_.overload;
+  // Oversized payloads first: one elephant segment costs as much scan time
+  // as dozens of mice.
+  if (packet.payload.size() > oc.shed_payload_bytes) return true;
+  // Then the flows that dominated bytes during this overload episode.
+  std::uint64_t& seen = shed_flow_bytes_[packet.tuple.conn_hash()];
+  seen += packet.payload.size();
+  return seen > oc.shed_flow_total_bytes;
 }
 
 void Worker::handle_packet(net::Packet& packet) {
   virtual_now_us_ = std::max(virtual_now_us_, packet.timestamp_us);
   published_.packets.fetch_add(1, std::memory_order_relaxed);
   published_.payload_bytes.fetch_add(packet.payload.size(), std::memory_order_relaxed);
+
+  if (should_shed(packet)) {
+    published_.shed_packets.fetch_add(1, std::memory_order_relaxed);
+    published_.shed_bytes.fetch_add(packet.payload.size(), std::memory_order_relaxed);
+    return;
+  }
+  published_.processed_packets.fetch_add(1, std::memory_order_relaxed);
 
   if (packet.tuple.proto == net::IpProto::tcp) {
     reassembler_.ingest(packet);
@@ -181,23 +328,31 @@ void Worker::handle_packet(net::Packet& packet) {
                   *sink_);
   }
 
-  if (cfg_.idle_timeout_us > 0 &&
-      ++packets_since_sweep_ >= cfg_.eviction_sweep_packets) {
+  // Rung 2+ tightens eviction: a much shorter idle timeout (even when
+  // eviction was configured off) and 4x more frequent sweeps.
+  std::uint64_t idle_us = cfg_.idle_timeout_us;
+  std::size_t sweep_every = cfg_.eviction_sweep_packets;
+  if (overload_.level() >= DegradationLevel::evict_early) {
+    const std::uint64_t degraded = cfg_.overload.degraded_idle_timeout_us;
+    idle_us = idle_us == 0 ? degraded : std::min(idle_us, degraded);
+    sweep_every = std::max<std::size_t>(1, sweep_every / 4);
+  }
+  if (idle_us > 0 && ++packets_since_sweep_ >= sweep_every) {
     packets_since_sweep_ = 0;
     // Scan staged chunks before tearing flows down: close_flow drops a
     // still-staged chunk unscanned.
     engine_.flush_batch(*sink_);
-    sweep_idle();
+    sweep_idle(idle_us);
   }
 }
 
-void Worker::sweep_idle() {
+void Worker::sweep_idle(std::uint64_t idle_us) {
   // Engine-side teardown happens in the reassembler's connection-end
   // callback (both directions of each evicted connection).
-  const auto evicted = reassembler_.evict_idle(virtual_now_us_, cfg_.idle_timeout_us);
+  const auto evicted = reassembler_.evict_idle(virtual_now_us_, idle_us);
   evicted_ += evicted.size();
   for (auto it = udp_last_seen_.begin(); it != udp_last_seen_.end();) {
-    if (it->second + cfg_.idle_timeout_us <= virtual_now_us_) {
+    if (it->second + idle_us <= virtual_now_us_) {
       engine_.close_flow(it->first);
       ++evicted_;
       it = udp_last_seen_.erase(it);
@@ -258,6 +413,15 @@ WorkerStats Worker::stats() const {
   s.active_flows = published_.active_flows.load(std::memory_order_relaxed);
   s.rules_generation = published_.rules_generation.load(std::memory_order_relaxed);
   s.rules_swaps = published_.rules_swaps.load(std::memory_order_relaxed);
+  s.processed_packets = published_.processed_packets.load(std::memory_order_relaxed);
+  s.shed_packets = published_.shed_packets.load(std::memory_order_relaxed);
+  s.shed_bytes = published_.shed_bytes.load(std::memory_order_relaxed);
+  s.degradation_level = published_.degradation_level.load(std::memory_order_relaxed);
+  s.degradation_transitions =
+      published_.degradation_transitions.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeat_.load(std::memory_order_relaxed);
+  s.sink_errors = guarded_sink_.errors();
+  s.sink_quarantined = guarded_sink_.quarantined() ? 1 : 0;
   return s;
 }
 

@@ -31,6 +31,7 @@
 #include "ids/engine.hpp"
 #include "net/reassembly.hpp"
 #include "pipeline/config.hpp"
+#include "pipeline/overload.hpp"
 #include "pipeline/spsc_ring.hpp"
 #include "pipeline/stats.hpp"
 
@@ -79,6 +80,34 @@ class RulesChannel {
   std::atomic<std::uint64_t> seq_{0};
 };
 
+// Exception containment between the engine and a user-supplied alert sink.
+// A sink that throws must not take the worker (and with it the whole
+// pipeline) down: each failure is counted, and after quarantine_after
+// CONSECUTIVE failures the sink is quarantined — alerts are counted and
+// dropped instead of retried forever.  One successful delivery resets the
+// streak.  on_alert runs only on the owning worker's thread; the counters
+// are atomics so stats() can read them from anywhere.
+class GuardedSink final : public ids::AlertSink {
+ public:
+  GuardedSink(ids::AlertSink* inner, unsigned quarantine_after)
+      : inner_(inner),
+        quarantine_after_(quarantine_after == 0 ? 1 : quarantine_after) {}
+
+  void on_alert(const ids::Alert& alert) override;
+
+  std::uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  bool quarantined() const { return quarantined_.load(std::memory_order_relaxed); }
+
+ private:
+  ids::AlertSink* inner_;
+  const unsigned quarantine_after_;
+  unsigned consecutive_ = 0;  // worker-thread-local
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> dropped_{0};  // alerts swallowed while quarantined
+  std::atomic<bool> quarantined_{false};
+};
+
 class Worker {
  public:
   // Adopts `rules` (a shared compiled ruleset; no per-worker compile) and
@@ -112,12 +141,27 @@ class Worker {
   // elsewhere).  Only valid after join().
   std::vector<ids::Alert>& alerts() { return alerts_; }
 
+  // Watchdog hooks: the loop-iteration heartbeat and the clean-exit flag
+  // (set when run() returns, normally or after a contained failure).
+  const std::atomic<std::uint64_t>& heartbeat_counter() const { return heartbeat_; }
+  const std::atomic<bool>& finished_flag() const { return finished_; }
+
+  // Contained catastrophic failure: the worker thread threw, logged the
+  // error, drained its ring (counting everything as shed) and exited.
+  // error() is valid once failed() returns true.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  const std::string& error() const { return error_; }
+
  private:
   void run();
+  void run_loop();
+  void drain_after_failure();
   void maybe_adopt_rules();
   void process(PacketBatch& batch);
   void handle_packet(net::Packet& packet);
-  void sweep_idle();
+  bool should_shed(const net::Packet& packet);
+  void apply_overload();
+  void sweep_idle(std::uint64_t idle_us);
   void publish_stats();
 
   const PipelineConfig cfg_;
@@ -126,7 +170,10 @@ class Worker {
   ids::IdsEngine engine_;
   std::vector<ids::Alert> alerts_;
   ids::AlertBuffer buffer_sink_{alerts_};
-  ids::AlertSink* sink_;  // cfg_.alert_sink or &buffer_sink_
+  // Every alert flows through the guard (failpoint + quarantine), wrapping
+  // either the external cfg_.alert_sink or the local buffer.
+  GuardedSink guarded_sink_;
+  ids::AlertSink* sink_;  // always &guarded_sink_
 
   // Hot-swap subscription (worker-thread reads; runtime writes).
   const RulesChannel* swaps_;
@@ -143,6 +190,15 @@ class Worker {
   // Last activity of engine-only (UDP) flows; TCP flows are tracked by the
   // reassembler itself.
   std::unordered_map<std::uint64_t, std::uint64_t> udp_last_seen_;
+
+  // Degradation ladder (worker-thread-only except the mirrored gauges).
+  OverloadManager overload_;
+  const std::size_t base_buffered_budget_;  // configured reassembly budget
+  // Per-connection payload bytes observed while at shed_load; keyed by the
+  // direction-symmetric conn_hash so both sides of an elephant flow count
+  // together.  Populated only at rung 3 and cleared on descent, so it is
+  // empty (and costs nothing) in normal operation.
+  std::unordered_map<std::uint64_t, std::uint64_t> shed_flow_bytes_;
 
   // Published counters (relaxed; read by stats()).
   struct AtomicStats {
@@ -165,10 +221,21 @@ class Worker {
     std::atomic<std::uint64_t> active_flows{0};
     std::atomic<std::uint64_t> rules_generation{0};
     std::atomic<std::uint64_t> rules_swaps{0};
+    std::atomic<std::uint64_t> processed_packets{0};
+    std::atomic<std::uint64_t> shed_packets{0};
+    std::atomic<std::uint64_t> shed_bytes{0};
+    std::atomic<std::uint64_t> degradation_level{0};
+    std::atomic<std::uint64_t> degradation_transitions{0};
   };
   AtomicStats published_;
   std::uint64_t evicted_ = 0;  // engine+reassembler evictions (thread-local)
   std::uint64_t swaps_adopted_ = 0;
+
+  // Liveness + failure containment.
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> failed_{false};
+  std::string error_;  // written by the worker thread before failed_ (release)
 
   std::atomic<bool> done_{false};
   std::thread thread_;

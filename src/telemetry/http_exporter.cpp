@@ -7,37 +7,89 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "telemetry/metrics.hpp"
+#include "util/failpoint.hpp"
 
 namespace vpm::telemetry {
 
 namespace {
 
-void send_all(int fd, const char* data, std::size_t len) {
+// Absolute wall-clock budget for one I/O direction of one client.  All
+// waiting happens in poll() against the time REMAINING, so partial progress
+// (a drip-feeding scraper) spends the budget instead of resetting it — the
+// failure mode of per-call SO_SNDTIMEO/SO_RCVTIMEO.
+struct Deadline {
+  std::chrono::steady_clock::time_point end;
+  bool unbounded = false;
+
+  static Deadline in_ms(std::uint64_t ms) {
+    Deadline d;
+    d.unbounded = ms == 0;
+    d.end = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  // Remaining budget clamped for poll(); -1 = wait forever (unbounded).
+  int remaining_ms() const {
+    if (unbounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          end - std::chrono::steady_clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return left > 60'000 ? 60'000 : static_cast<int>(left);
+  }
+};
+
+enum class IoResult : std::uint8_t { ok, peer_gone, timed_out };
+
+// Writes the whole buffer (EINTR-safe, partial-write-safe) or reports why it
+// could not.  The socket must be nonblocking; blocking happens only in
+// poll() against the deadline.
+IoResult send_all(int fd, const char* data, std::size_t len, const Deadline& dl) {
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // peer went away mid-response; nothing to salvage
+    std::size_t chunk = len - sent;
+    // Chaos hook: force a 1-byte short write, exercising the resume path a
+    // cooperative local peer would otherwise never take.
+    if (util::failpoint::should_fail(util::failpoint::Site::exporter_socket)) {
+      chunk = 1;
     }
-    sent += static_cast<std::size_t>(n);
+    const ssize_t n = ::send(fd, data + sent, chunk, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait = dl.remaining_ms();
+      if (wait == 0) return IoResult::timed_out;
+      pollfd p{fd, POLLOUT, 0};
+      const int ready = ::poll(&p, 1, wait);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) return IoResult::timed_out;
+      if (ready < 0) return IoResult::peer_gone;
+      continue;
+    }
+    return IoResult::peer_gone;  // reset/closed mid-response; nothing to salvage
   }
+  return IoResult::ok;
 }
 
-void send_response(int fd, const char* status, const char* content_type,
-                   const std::string& body) {
+IoResult send_response(int fd, const char* status, const char* content_type,
+                       const std::string& body, const Deadline& dl) {
   std::string head = "HTTP/1.1 ";
   head += status;
   head += "\r\nContent-Type: ";
   head += content_type;
   head += "\r\nContent-Length: " + std::to_string(body.size());
   head += "\r\nConnection: close\r\n\r\n";
-  send_all(fd, head.data(), head.size());
-  send_all(fd, body.data(), body.size());
+  const IoResult r = send_all(fd, head.data(), head.size(), dl);
+  if (r != IoResult::ok) return r;
+  return send_all(fd, body.data(), body.size(), dl);
 }
 
 constexpr const char* kMetricsContentType =
@@ -125,12 +177,11 @@ void HttpExporter::run() {
     if (ready <= 0) continue;
     if (fds[1].revents != 0) break;  // stop() woke us
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    const int client =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
     if (client < 0) continue;
-    // Bound both directions so a stuck scraper cannot wedge the listener.
-    timeval tv{2, 0};
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    // Nonblocking + poll deadlines in serve_one bound the TOTAL time a
+    // client may hold this single-threaded listener.
     serve_one(client);
     ::close(client);
   }
@@ -138,16 +189,41 @@ void HttpExporter::run() {
 
 void HttpExporter::serve_one(int client_fd) {
   // Read until the header terminator (requests are one GET line + headers;
-  // 8 KB is generous) — a scraper that never finishes its headers times out
-  // via SO_RCVTIMEO.
+  // 8 KB is generous).  The whole read shares one budget: a scraper that
+  // drips bytes spends it down and gets disconnected.
+  const Deadline read_dl = Deadline::in_ms(cfg_.read_timeout_ms);
   std::string request;
   char buf[2048];
+  bool read_timed_out = false;
   while (request.size() < 8192 && request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = ::recv(client_fd, buf, sizeof buf, 0);
-    if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
+    if (n > 0) {
+      request.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // clean half-close: parse what we have
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int wait = read_dl.remaining_ms();
+      pollfd p{client_fd, POLLIN, 0};
+      const int ready = wait == 0 ? 0 : ::poll(&p, 1, wait);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready == 0) {
+        read_timed_out = true;
+        break;
+      }
+      if (ready < 0) break;
+      continue;
+    }
+    break;  // reset
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
+  if (read_timed_out && request.find("\r\n\r\n") == std::string::npos) {
+    // Never finished its headers inside the budget: drop it, count it.
+    slow_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const Deadline write_dl = Deadline::in_ms(cfg_.write_timeout_ms);
 
   const std::size_t line_end = request.find("\r\n");
   const std::string line = request.substr(0, line_end);
@@ -159,23 +235,30 @@ void HttpExporter::serve_one(int client_fd) {
           ? ""
           : line.substr(sp1 + 1, sp2 - sp1 - 1);
 
+  const auto respond = [&](const char* status, const char* content_type,
+                           const std::string& body) {
+    if (send_response(client_fd, status, content_type, body, write_dl) ==
+        IoResult::timed_out) {
+      slow_aborts_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
   if (method != "GET") {
-    send_response(client_fd, "405 Method Not Allowed", "text/plain",
-                  "method not allowed\n");
+    respond("405 Method Not Allowed", "text/plain", "method not allowed\n");
     return;
   }
   if (path == "/healthz") {
-    send_response(client_fd, "200 OK", "text/plain", "ok\n");
+    respond("200 OK", "text/plain", "ok\n");
     return;
   }
   if (path == "/metrics" || path.rfind("/metrics?", 0) == 0) {
     std::string body;
     body.reserve(1 << 14);
     for (const TextSource& source : sources_) source(body);
-    send_response(client_fd, "200 OK", kMetricsContentType, body);
+    respond("200 OK", kMetricsContentType, body);
     return;
   }
-  send_response(client_fd, "404 Not Found", "text/plain", "not found\n");
+  respond("404 Not Found", "text/plain", "not found\n");
 }
 
 }  // namespace vpm::telemetry

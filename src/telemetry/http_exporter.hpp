@@ -28,6 +28,14 @@ class MetricsRegistry;
 struct HttpExporterConfig {
   std::string bind_address = "0.0.0.0";  // scrape from anywhere by default
   std::uint16_t port = 0;                // 0 = kernel-assigned (tests)
+  // Overall wall-clock budgets for one client, enforced with nonblocking
+  // sockets + poll deadlines.  Per-call socket timeouts (SO_RCVTIMEO /
+  // SO_SNDTIMEO) restart on every syscall, so a client draining one byte per
+  // call could hold the single-threaded listener forever; these budgets
+  // bound the WHOLE header read and the WHOLE response write.  0 disables
+  // the bound (not recommended).
+  std::uint64_t read_timeout_ms = 2000;
+  std::uint64_t write_timeout_ms = 2000;
 };
 
 class HttpExporter {
@@ -61,6 +69,11 @@ class HttpExporter {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  // Clients disconnected because they exhausted a read/write budget.
+  std::uint64_t slow_client_aborts() const {
+    return slow_aborts_.load(std::memory_order_relaxed);
+  }
+
  private:
   void run();
   void serve_one(int client_fd);
@@ -72,6 +85,7 @@ class HttpExporter {
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> slow_aborts_{0};
   std::thread thread_;
 };
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "telemetry/json.hpp"
+#include "util/failpoint.hpp"
 
 namespace vpm::telemetry {
 
@@ -92,21 +93,42 @@ void NdjsonAlertSink::append_line(const ids::Alert& alert) {
 void NdjsonAlertSink::on_alert(const ids::Alert& alert) {
   std::lock_guard<std::mutex> lock(mutex_);
   append_line(alert);
-  if (std::fwrite(line_.data(), 1, line_.size(), out_) != line_.size()) {
+  // Chaos hook: pretend the write failed (disk full, dead pipe) without
+  // needing a real broken FILE*.
+  const bool injected =
+      util::failpoint::should_fail(util::failpoint::Site::alert_sink_write);
+  if (injected || std::fwrite(line_.data(), 1, line_.size(), out_) != line_.size()) {
+    // A failed write loses THIS line only: record it, clear the stream's
+    // sticky error flag so a transient failure (pipe pressure, rotated
+    // volume) does not poison every later line, and keep going.  ok() stays
+    // false so the operator learns the log has holes.
     write_error_ = true;
+    ++dropped_;
+    std::clearerr(out_);
+  } else {
+    ++emitted_;
   }
-  ++emitted_;
+  // The downstream sink always gets the alert — a broken log file must not
+  // sever live delivery.
   if (forward_ != nullptr) forward_->on_alert(alert);
 }
 
 void NdjsonAlertSink::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (std::fflush(out_) != 0) write_error_ = true;
+  if (std::fflush(out_) != 0) {
+    write_error_ = true;
+    std::clearerr(out_);
+  }
 }
 
 std::uint64_t NdjsonAlertSink::emitted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return emitted_;
+}
+
+std::uint64_t NdjsonAlertSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 bool NdjsonAlertSink::ok() const {

@@ -59,7 +59,11 @@ class NdjsonAlertSink final : public ids::AlertSink {
   // Flushes buffered lines to the underlying stream.
   void flush();
 
+  // Lines successfully written / lines lost to write failures.  Every alert
+  // is one or the other; forwarding to the downstream sink happens either
+  // way, so a sick log file degrades durability, never live delivery.
   std::uint64_t emitted() const;
+  std::uint64_t dropped() const;
   bool ok() const;  // false once any write failed (disk full, closed pipe)
 
  private:
@@ -78,6 +82,7 @@ class NdjsonAlertSink final : public ids::AlertSink {
   std::unordered_map<std::uint64_t, FlowInfo> flows_;
   std::string line_;  // reused per alert
   std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;  // lines lost to failed writes
   bool write_error_ = false;
 };
 

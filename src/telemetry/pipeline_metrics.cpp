@@ -13,7 +13,12 @@ std::string describe_pipeline_stats(const PipelineStats& stats) {
   out += "pipeline: submitted=" + std::to_string(stats.submitted) +
          " routed=" + std::to_string(stats.routed) +
          " dropped_backpressure=" + std::to_string(stats.dropped_backpressure) +
-         " workers=" + std::to_string(stats.workers.size()) + "\n";
+         " workers=" + std::to_string(stats.workers.size()) +
+         " watchdog_stalls=" + std::to_string(stats.watchdog_stalls) +
+         " worker_failures=" + std::to_string(stats.worker_failures) + "\n";
+  for (const std::string& err : stats.errors) {
+    out += "worker error: " + err + "\n";
+  }
 
   const WorkerStats totals = stats.totals();
   out += "totals:";
@@ -61,6 +66,14 @@ void render_pipeline_prometheus(std::string& out, const PipelineStats& stats) {
               "Packets discarded by the drop backpressure policy");
   out += "vpm_pipeline_dropped_backpressure_total " +
          std::to_string(stats.dropped_backpressure) + '\n';
+  emit_family(out, "vpm_pipeline_watchdog_stalls_total", "counter",
+              "Worker stall episodes flagged by the liveness watchdog");
+  out += "vpm_pipeline_watchdog_stalls_total " + std::to_string(stats.watchdog_stalls) +
+         '\n';
+  emit_family(out, "vpm_pipeline_worker_failures_total", "counter",
+              "Workers that died on an exception and drained their ring");
+  out += "vpm_pipeline_worker_failures_total " + std::to_string(stats.worker_failures) +
+         '\n';
 
   const WorkerStats totals = stats.totals();
 

@@ -1,0 +1,236 @@
+#include "util/failpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vpm::util::failpoint {
+
+namespace {
+
+enum class Mode : std::uint8_t { off, always, prob, every, after, once };
+
+struct SiteState {
+  // Mode/params are written only while the site is disarmed (arm() clears
+  // the mask first), so the slow path reads them plain.
+  Mode mode = Mode::off;
+  double p = 0.0;        // prob
+  std::uint64_t n = 0;   // every / after / once
+  std::uint64_t seed = 1;
+  std::atomic<std::uint64_t> hit_count{0};
+  std::atomic<std::uint64_t> fire_count{0};
+};
+
+std::array<SiteState, kSiteCount>& sites() {
+  static std::array<SiteState, kSiteCount> s;
+  return s;
+}
+
+// splitmix64 finalizer: uniform in [0, 2^64) as a pure function of the
+// (seed, site, hit-index) triple — the determinism contract.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t site, std::uint64_t hit) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (site * 0x10001ull + hit + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::off: return "off";
+    case Mode::always: return "always";
+    case Mode::prob: return "prob";
+    case Mode::every: return "every";
+    case Mode::after: return "after";
+    case Mode::once: return "once";
+  }
+  return "?";
+}
+
+// Reads VPM_FAILPOINTS (+ VPM_FAILPOINT_SEED) once at process start, so any
+// binary can be chaos-run from the environment with no code changes.  A
+// parse error is reported on stderr and leaves everything disarmed — a typo
+// must not silently run an unintended chaos configuration.
+struct EnvArm {
+  EnvArm() {
+    const char* spec = std::getenv("VPM_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    std::uint64_t seed = 1;
+    if (const char* s = std::getenv("VPM_FAILPOINT_SEED"); s != nullptr && *s != '\0') {
+      seed = std::strtoull(s, nullptr, 0);
+    }
+    const std::string err = arm(spec, seed);
+    if (!err.empty()) {
+      std::fprintf(stderr, "vpm: ignoring VPM_FAILPOINTS: %s\n", err.c_str());
+    }
+  }
+};
+const EnvArm g_env_arm;
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_armed_mask{0};
+
+bool fire_slow(Site s) {
+  SiteState& st = sites()[static_cast<std::size_t>(s)];
+  // 1-based hit index: deterministic per index regardless of which thread
+  // claimed it.
+  const std::uint64_t hit = st.hit_count.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (st.mode) {
+    case Mode::off: break;
+    case Mode::always: fire = true; break;
+    case Mode::prob:
+      fire = static_cast<double>(mix(st.seed, static_cast<std::uint64_t>(s), hit)) <
+             st.p * 18446744073709551616.0;  // 2^64
+      break;
+    case Mode::every: fire = st.n > 0 && hit % st.n == 0; break;
+    case Mode::after: fire = hit > st.n; break;
+    case Mode::once: fire = hit == st.n; break;
+  }
+  if (fire) st.fire_count.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace detail
+
+const char* site_name(Site s) {
+  switch (s) {
+    case Site::ring_push: return "ring_push";
+    case Site::ring_pop: return "ring_pop";
+    case Site::reassembly_buffer: return "reassembly_buffer";
+    case Site::alert_sink_write: return "alert_sink_write";
+    case Site::hot_swap_publish: return "hot_swap_publish";
+    case Site::exporter_socket: return "exporter_socket";
+    case Site::worker_batch: return "worker_batch";
+    case Site::count: break;
+  }
+  return "?";
+}
+
+std::optional<Site> site_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const Site s = static_cast<Site>(i);
+    if (name == site_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string arm(std::string_view spec, std::uint64_t seed) {
+  // Parse into a staging copy first: a bad spec must not half-arm.
+  struct Parsed {
+    Mode mode = Mode::off;
+    double p = 0.0;
+    std::uint64_t n = 0;
+    bool set = false;
+  };
+  std::array<Parsed, kSiteCount> staged{};
+
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return "failpoint entry '" + std::string(entry) + "' has no '=mode'";
+    }
+    const std::string_view name = entry.substr(0, eq);
+    const auto site = site_from_name(name);
+    if (!site) return "unknown failpoint site '" + std::string(name) + "'";
+
+    std::string_view mode = entry.substr(eq + 1);
+    std::string_view argstr;
+    if (const std::size_t colon = mode.find(':'); colon != std::string_view::npos) {
+      argstr = mode.substr(colon + 1);
+      mode = mode.substr(0, colon);
+    }
+
+    Parsed p;
+    p.set = true;
+    const std::string arg(argstr);
+    char* end = nullptr;
+    if (mode == "off") {
+      p.mode = Mode::off;
+    } else if (mode == "always") {
+      p.mode = Mode::always;
+    } else if (mode == "prob") {
+      p.mode = Mode::prob;
+      p.p = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == arg.c_str() || *end != '\0' || p.p < 0.0 || p.p > 1.0) {
+        return "failpoint '" + std::string(name) + "': prob wants 0..1, got '" + arg +
+               "'";
+      }
+    } else if (mode == "every" || mode == "after" || mode == "once") {
+      p.mode = mode == "every" ? Mode::every : mode == "after" ? Mode::after : Mode::once;
+      p.n = std::strtoull(arg.c_str(), &end, 10);
+      if (arg.empty() || end == arg.c_str() || *end != '\0' ||
+          (p.mode != Mode::after && p.n == 0)) {
+        return "failpoint '" + std::string(name) + "': " + std::string(mode) +
+               " wants a positive count, got '" + arg + "'";
+      }
+    } else {
+      return "failpoint '" + std::string(name) + "': unknown mode '" +
+             std::string(mode) + "'";
+    }
+    staged[static_cast<std::size_t>(*site)] = p;
+  }
+
+  // Install: disarm (so the slow path cannot observe a half-written state),
+  // write configs + reset counters, then publish the new mask.
+  detail::g_armed_mask.store(0, std::memory_order_relaxed);
+  std::uint32_t mask = 0;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    SiteState& st = sites()[i];
+    st.hit_count.store(0, std::memory_order_relaxed);
+    st.fire_count.store(0, std::memory_order_relaxed);
+    if (!staged[i].set) {
+      st.mode = Mode::off;
+      continue;
+    }
+    st.mode = staged[i].mode;
+    st.p = staged[i].p;
+    st.n = staged[i].n;
+    st.seed = seed;
+    if (st.mode != Mode::off) mask |= 1u << i;
+  }
+  detail::g_armed_mask.store(mask, std::memory_order_release);
+  return "";
+}
+
+void disarm() { detail::g_armed_mask.store(0, std::memory_order_relaxed); }
+
+bool any_armed() {
+  return detail::g_armed_mask.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t hits(Site s) {
+  return sites()[static_cast<std::size_t>(s)].hit_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t fires(Site s) {
+  return sites()[static_cast<std::size_t>(s)].fire_count.load(std::memory_order_relaxed);
+}
+
+std::string describe() {
+  const std::uint32_t mask = detail::g_armed_mask.load(std::memory_order_relaxed);
+  std::string out;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const SiteState& st = sites()[i];
+    if (!out.empty()) out += ' ';
+    out += site_name(static_cast<Site>(i));
+    out += '=';
+    out += mode_name(st.mode);
+    out += " hits=" + std::to_string(st.hit_count.load(std::memory_order_relaxed));
+    out += " fires=" + std::to_string(st.fire_count.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+}  // namespace vpm::util::failpoint

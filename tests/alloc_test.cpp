@@ -17,6 +17,7 @@
 #include "helpers.hpp"
 #include "ids/engine.hpp"
 #include "telemetry/metrics.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -159,6 +160,22 @@ TEST(AllocTest, EngineStageFlushSteadyStateIsAllocationFree) {
   EXPECT_EQ(after, before) << "engine batch loop allocated in steady state ("
                            << seed_note() << ")";
   EXPECT_GT(sink.alerts, 0u) << "workload must produce alerts to be meaningful";
+}
+
+// The disarmed failpoint check sits on the hottest paths (every ring push
+// and pop, every reassembly buffering decision): it must stay one relaxed
+// load — no allocation, and no fires.
+TEST(AllocTest, DisarmedFailpointCheckIsAllocationFree) {
+  util::failpoint::disarm();
+  bool any = false;
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1'000'000; ++i) {
+    any |= util::failpoint::should_fail(util::failpoint::Site::ring_push);
+    any |= util::failpoint::should_fail(util::failpoint::Site::reassembly_buffer);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disarmed should_fail must not allocate";
+  EXPECT_FALSE(any);
 }
 
 // Telemetry record paths: counter add, gauge set, histogram record — the
