@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "core/prefilter.hpp"
 #include "core/scan_stats.hpp"
 #include "core/vpatch.hpp"
 #include "traffic/trace.hpp"
@@ -27,6 +28,15 @@ int main_impl(int argc, char** argv) {
 
   JsonReport report("fig5b_filter_ratio", opt);
   const std::size_t counts[] = {1000, 2500, 5000, 10000, 15000, 20000};
+  // Companion datapoint for the approximate prefilter: per subset size, how
+  // many MTU-sized payloads of this trace the q-gram screen would pass, and
+  // how many of those passes are false (no true match inside).  Reported in
+  // the JSON rows only — the printed figure stays the paper's.
+  std::vector<util::ByteView> payloads;
+  for (std::size_t off = 0; off + 1500 <= trace.size(); off += 1500) {
+    payloads.emplace_back(trace.data() + off, 1500);
+  }
+
   for (std::size_t n : counts) {
     const auto subset = full.random_subset(n, opt.seed + n);
     const core::VpatchMatcher vpatch(subset);
@@ -35,6 +45,36 @@ int main_impl(int argc, char** argv) {
       CountingSink sink;
       vpatch.scan_with_stats(trace, sink, stats);
     }
+
+    // Built over the screenable long patterns (>= 8 B, like bench_prefilter's
+    // heavy-group gating — the subset's 1-2 byte patterns would null the
+    // filter), with ground truth from a matcher over the same gated set so
+    // "false pass" means exactly: passed but no screenable pattern inside.
+    pattern::PatternSet gated;
+    for (const auto& p : subset.patterns()) {
+      if (p.bytes.size() >= 8) gated.add(p.bytes, p.nocase, pattern::Group::http);
+    }
+    double pass_pct = 100.0, fp_pct = 100.0;
+    std::uint64_t pf_patterns = 0;
+    if (const auto pf = core::build_prefilter(gated)) {
+      pf_patterns = gated.size();
+      const core::VpatchMatcher gated_vpatch(gated);
+      std::uint64_t pass = 0, matching = 0, false_pass = 0;
+      for (const util::ByteView p : payloads) {
+        const bool hit = pf->screen(p);
+        const bool real = gated_vpatch.count_matches(p) > 0;
+        pass += hit;
+        matching += real;
+        false_pass += hit && !real;
+      }
+      pass_pct = payloads.empty() ? 0.0 : 100.0 * static_cast<double>(pass) /
+                                              static_cast<double>(payloads.size());
+      fp_pct = payloads.size() > matching
+                   ? 100.0 * static_cast<double>(false_pass) /
+                         static_cast<double>(payloads.size() - matching)
+                   : 0.0;
+    }
+
     print_row({std::to_string(subset.size()), fmt(stats.filter_time_fraction() * 100, 1),
                fmt(stats.f3_lane_utilization() * 100, 1),
                std::to_string(stats.short_candidates / opt.runs),
@@ -42,10 +82,13 @@ int main_impl(int argc, char** argv) {
               widths);
     report.add({},
                {{"filter_time_pct", stats.filter_time_fraction() * 100},
-                {"useful_lanes_pct", stats.f3_lane_utilization() * 100}},
+                {"useful_lanes_pct", stats.f3_lane_utilization() * 100},
+                {"prefilter_pass_pct", pass_pct},
+                {"prefilter_fp_pct", fp_pct}},
                {{"patterns", subset.size()},
                 {"short_candidates", stats.short_candidates / opt.runs},
-                {"long_candidates", stats.long_candidates / opt.runs}});
+                {"long_candidates", stats.long_candidates / opt.runs},
+                {"prefilter_patterns", pf_patterns}});
   }
   return report.write() ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "ac/ac_full.hpp"
 #include "ac/ac_sparse.hpp"
 #include "common.hpp"
+#include "core/prefilter.hpp"
 #include "util/timer.hpp"
 
 namespace vpm::bench {
@@ -67,6 +68,35 @@ int main_impl(int argc, char** argv) {
                  {{"patterns", subset.size()},
                   {"memory_bytes", m->memory_bytes()},
                   {"states", state_count}});
+    }
+
+    // The approximate q-gram prefilter rides in front of whichever exact
+    // engine serves the group; its signature is the memory it adds on top.
+    // Built over the screenable long patterns (>= 8 B, like bench_prefilter's
+    // heavy-group gating — the full subset's 1-2 byte patterns would null the
+    // filter); "states" is the distinct-gram count the signature encodes.
+    pattern::PatternSet gated;
+    for (const auto& p : subset.patterns()) {
+      if (p.bytes.size() >= 8) gated.add(p.bytes, p.nocase, pattern::Group::http);
+    }
+    util::Timer pf_timer;
+    if (const auto pf = core::build_prefilter(gated)) {
+      const double pf_ms = pf_timer.millis();
+      print_row({std::to_string(gated.size()), "q-gram prefilter",
+                 std::to_string(pf->memory_bytes() >> 10), fmt(pf_ms, 1),
+                 std::to_string(pf->gram_count()),
+                 fmt(static_cast<double>(pf->memory_bytes()) /
+                         static_cast<double>(pf->gram_count()),
+                     1)},
+                widths);
+      report.add({{"algorithm", "qgram_prefilter"}},
+                 {{"build_ms", pf_ms},
+                  {"bytes_per_state", static_cast<double>(pf->memory_bytes()) /
+                                          static_cast<double>(pf->gram_count())},
+                  {"occupancy", pf->occupancy()}},
+                 {{"patterns", gated.size()},
+                  {"memory_bytes", pf->memory_bytes()},
+                  {"states", pf->gram_count()}});
     }
   }
   return report.write() ? 0 : 1;

@@ -60,6 +60,7 @@ struct SensorOptions {
   std::size_t batch_packets = 0;  // 0 = PipelineConfig default
   std::size_t swap_after = 0;     // 0 = no hot-swap
   core::Algorithm algo = core::Algorithm::vpatch;
+  core::PrefilterMode prefilter = core::PrefilterMode::automatic;
   net::ReassemblyConfig reassembly;
   int metrics_port = -1;          // >= 0: serve /metrics on this port (0 = ephemeral)
   unsigned serve_seconds = 0;     // keep the /metrics endpoint up after the run
@@ -115,6 +116,7 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 
   pipeline::PipelineConfig cfg;
   cfg.workers = opt.workers;
+  cfg.prefilter = opt.prefilter;
   cfg.reassembly = opt.reassembly;
   cfg.overload = opt.overload;
   if (opt.batch_packets > 0) cfg.batch_packets = opt.batch_packets;
@@ -208,10 +210,11 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   const auto stats = rt.stats();
   const auto totals = stats.totals();
   std::printf("%zu packets (skipped %zu), batch %zu, overlap policy %s, "
-              "overload policy %s\n",
+              "overload policy %s, prefilter %s\n",
               parsed.packets.size(), parsed.skipped_records, cfg.batch_packets,
               net::overlap_policy_name(opt.reassembly.overlap),
-              opt.overload_name.c_str());
+              opt.overload_name.c_str(),
+              std::string(core::prefilter_mode_name(opt.prefilter)).c_str());
   // The one shared stats formatter (every WorkerStats field, totals + per
   // worker) — the same field table the /metrics endpoint renders from.
   std::fputs(telemetry::describe_pipeline_stats(stats).c_str(), stdout);
@@ -239,9 +242,10 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
 }
 
 int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
-        core::Algorithm algo, net::ReassemblyConfig reassembly) {
+        const SensorOptions& opt) {
   util::Timer timer;
-  const auto result = ids::inspect_pcap(pcap_bytes, rules, {algo}, reassembly);
+  const auto result =
+      ids::inspect_pcap(pcap_bytes, rules, {opt.algo, opt.prefilter}, opt.reassembly);
   const double secs = timer.seconds();
 
   std::printf("packets: %zu (skipped %zu), flows: %llu, reassembly drops: %llu, "
@@ -254,7 +258,7 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   std::printf("reassembly [%s]: c2s %llu B in %llu chunks, s2c %llu B in %llu "
               "chunks, overwritten %llu B, connections %llu started / %llu ended "
               "(%llu fins, %llu resets), discarded on close %llu B\n",
-              net::overlap_policy_name(reassembly.overlap),
+              net::overlap_policy_name(opt.reassembly.overlap),
               static_cast<unsigned long long>(rs.side[0].delivered_bytes),
               static_cast<unsigned long long>(rs.side[0].chunks),
               static_cast<unsigned long long>(rs.side[1].delivered_bytes),
@@ -266,6 +270,13 @@ int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
               static_cast<unsigned long long>(rs.fins),
               static_cast<unsigned long long>(rs.resets),
               static_cast<unsigned long long>(rs.discarded_on_close_bytes));
+  std::printf("prefilter [%s]: passed %llu payloads / %llu B, rejected %llu "
+              "payloads / %llu B\n",
+              std::string(core::prefilter_mode_name(opt.prefilter)).c_str(),
+              static_cast<unsigned long long>(result.counters.prefilter_pass_payloads),
+              static_cast<unsigned long long>(result.counters.prefilter_pass_bytes),
+              static_cast<unsigned long long>(result.counters.prefilter_reject_payloads),
+              static_cast<unsigned long long>(result.counters.prefilter_reject_bytes));
   std::printf("inspected %llu payload bytes in %.3f s (%.2f Gbps incl. reassembly, "
               "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(result.counters.bytes_inspected), secs,
@@ -317,8 +328,7 @@ int run_demo(const SensorOptions& opt) {
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return opt.workers > 0 ? run_sharded(pcap, rules, opt)
-                         : run(pcap, rules, opt.algo, opt.reassembly);
+  return opt.workers > 0 ? run_sharded(pcap, rules, opt) : run(pcap, rules, opt);
 }
 
 // The engine list is the factory's advertised contract for THIS CPU (vector
@@ -335,12 +345,16 @@ std::string algo_names() {
 
 void print_usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--swap-after=N] "
+               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--prefilter=MODE] "
+               "[--swap-after=N] "
                "[--overlap-policy=NAME] [--overload-policy=NAME] [--fail=SPEC] "
                "[--fail-seed=N] [--metrics-port=N] [--serve-seconds=N] "
                "[--alert-json=FILE] <capture.pcap> [rules.rules]  |  %s --demo\n"
                "  --algo=NAME      matcher engine (default v-patch); available on "
                "this CPU:\n                   %s\n"
+               "  --prefilter=MODE approximate q-gram prefilter ahead of the exact "
+               "engines: on|off|auto (default auto; alerts are identical in every "
+               "mode)\n"
                "  --swap-after=N   with --workers: hot-swap to a recompiled "
                "database after N packets\n"
                "  --overlap-policy=NAME  segment-overlap arbitration: "
@@ -410,6 +424,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.reassembly.overlap = *policy;
+    } else if (std::strncmp(argv[i], "--prefilter=", 12) == 0) {
+      const auto mode = core::prefilter_mode_from_name(argv[i] + 12);
+      if (!mode) {
+        std::fprintf(stderr, "unknown --prefilter=%s; expected on|off|auto\n",
+                     argv[i] + 12);
+        return 2;
+      }
+      opt.prefilter = *mode;
     } else if (std::strncmp(argv[i], "--algo=", 7) == 0) {
       const auto parsed = core::algorithm_from_name(argv[i] + 7);
       if (!parsed || !core::algorithm_available(*parsed)) {
@@ -473,5 +495,5 @@ int main(int argc, char** argv) {
   }
   std::printf("%zu patterns\n", rules.size());
   return finish(opt.workers > 0 ? run_sharded(pcap, rules, opt)
-                                : run(pcap, rules, opt.algo, opt.reassembly));
+                                : run(pcap, rules, opt));
 }

@@ -40,6 +40,13 @@ Database::Database(Private, core::Algorithm algorithm, pattern::PatternSet patte
                              std::string(core::algorithm_name(algorithm_)) +
                              "' is unavailable on this CPU");
   }
+  // Per-group signatures over the same pattern subset each GroupedRules
+  // entry scans (the group's own patterns plus the generic group).
+  for (std::size_t g = 0; g < core::kPrefilterGroupCount; ++g) {
+    const auto group = static_cast<pattern::Group>(g);
+    prefilters_[g] =
+        core::build_prefilter(patterns_.filter_groups({group, pattern::Group::generic}));
+  }
 }
 
 const Matcher& Database::engine() const {
@@ -53,26 +60,31 @@ std::size_t Database::memory_bytes() const {
   for (const pattern::Pattern& p : patterns_) {
     pattern_bytes += sizeof(pattern::Pattern) + p.bytes.capacity();
   }
-  return engine().memory_bytes() + pattern_bytes;
+  std::size_t prefilter_bytes = 0;
+  for (const core::PrefilterPtr& f : prefilters_) {
+    if (f != nullptr) prefilter_bytes += f->memory_bytes();
+  }
+  return engine().memory_bytes() + pattern_bytes + prefilter_bytes;
 }
 
 util::Bytes Database::save_patterns() const {
   pattern::DbHeader header;
   header.algorithm_hint = static_cast<std::uint8_t>(algorithm_);
   header.fingerprint = fingerprint_;
-  return pattern::serialize_patterns(patterns_, header);
+  util::Bytes out = pattern::serialize_patterns(patterns_, header);
+  core::append_prefilter_section(out, prefilters_, fingerprint_);
+  return out;
 }
 
 DatabasePtr compile(core::Algorithm algorithm, pattern::PatternSet set) {
   return std::make_shared<Database>(Database::Private{}, algorithm, std::move(set));
 }
 
-namespace {
-
-DatabasePtr from_serialized_impl(util::ByteView blob,
-                                 const core::Algorithm* algorithm_override) {
+DatabasePtr Database::from_serialized_impl(util::ByteView blob,
+                                           const core::Algorithm* algorithm_override) {
   pattern::DbHeader header;
-  pattern::PatternSet set = pattern::deserialize_patterns(blob, &header);
+  std::size_t consumed = 0;
+  pattern::PatternSet set = pattern::deserialize_patterns(blob, &header, &consumed);
   // v2 blobs MUST carry the matching content fingerprint (save_patterns
   // always writes it); exempting 0 would let corruption that zeroes the
   // header field silently disable the integrity check.  v1 blobs predate
@@ -102,10 +114,18 @@ DatabasePtr from_serialized_impl(util::ByteView blob,
           "' is unavailable on this CPU; pass one explicitly");
     }
   }
-  return compile(algorithm, std::move(set));
+  auto db = std::make_shared<Database>(Private{}, algorithm, std::move(set));
+  if (header.version >= 2) {
+    // The prefilter section is mandatory in v2 blobs: tolerating its absence
+    // would make every truncation at the pattern-records boundary load
+    // silently.  Adopting the parsed (checksummed) signatures — rather than
+    // keeping the ctor-rebuilt ones — makes the loaded artifact screen
+    // bit-identically to the process that saved it.
+    db->prefilters_ =
+        core::parse_prefilter_section(blob.subspan(consumed), db->fingerprint_);
+  }
+  return db;
 }
-
-}  // namespace
 
 DatabasePtr Database::from_serialized(util::ByteView blob) {
   return from_serialized_impl(blob, nullptr);

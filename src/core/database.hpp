@@ -29,6 +29,7 @@
 #include <mutex>
 
 #include "core/matcher_factory.hpp"
+#include "core/prefilter.hpp"
 #include "match/matcher.hpp"
 #include "pattern/pattern_set.hpp"
 #include "pattern/serialize.hpp"
@@ -59,6 +60,17 @@ class Database {
   // The owned pattern copy (ids are the ids engines report).
   const pattern::PatternSet& patterns() const { return patterns_; }
 
+  // Per-group approximate q-gram signatures, built eagerly at compile time
+  // over each group's own + generic patterns (the same composition
+  // GroupedRules scans).  Null slot = no usable signature for that group
+  // (empty, or contains a sub-3-byte pattern).  Serialized inside
+  // save_patterns() and restored — checksummed — by from_serialized(), so a
+  // loaded database screens identically to the compiling process.
+  const core::GroupPrefilters& prefilters() const { return prefilters_; }
+  const core::PrefilterPtr& prefilter_for(pattern::Group group) const {
+    return prefilters_[static_cast<std::size_t>(group)];
+  }
+
   // The compiled whole-set engine.  Scanning through it directly is valid
   // (scan / scan_batch are const and thread-safe with caller-owned
   // scratch); Scanner packages exactly that.  Built lazily on first access
@@ -79,8 +91,10 @@ class Database {
   // available on this CPU; the explicit overload overrides/supplies the
   // engine.  A v2 blob must carry the content fingerprint (as
   // save_patterns() writes) and it is verified against the deserialized
-  // patterns; absence or mismatch throws std::invalid_argument (corrupt or
-  // tampered payload).  v1 blobs predate fingerprints and load unchecked.
+  // patterns, and must carry the trailing checksummed prefilter section;
+  // absence, truncation, or mismatch of either throws std::invalid_argument
+  // (corrupt or tampered payload).  v1 blobs predate fingerprints and the
+  // prefilter section: they load unchecked and rebuild signatures locally.
   static DatabasePtr from_serialized(util::ByteView blob);
   static DatabasePtr from_serialized(util::ByteView blob, core::Algorithm algorithm);
 
@@ -89,9 +103,13 @@ class Database {
  private:
   friend DatabasePtr compile(core::Algorithm, pattern::PatternSet);
 
+  static DatabasePtr from_serialized_impl(util::ByteView blob,
+                                          const core::Algorithm* algorithm_override);
+
   pattern::PatternSet patterns_;  // outlives engine_: the engine is built over it
   mutable std::once_flag engine_once_;
   mutable MatcherPtr engine_;  // lazily built; logically part of the const artifact
+  core::GroupPrefilters prefilters_;
   core::Algorithm algorithm_;
   std::uint64_t generation_;
   std::uint64_t fingerprint_;

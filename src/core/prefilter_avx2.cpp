@@ -1,0 +1,75 @@
+// Approximate q-gram prefilter screen, AVX2: 8 STRIDED probe positions per
+// block (lane j probes position p + j*threshold, so one block disposes of
+// 8*threshold positions), one gather for the grams and one for the
+// signature words, and a scalar neighborhood verify on the rare lanes that
+// hit.  See prefilter_kernels.hpp for why strided probing cannot miss a
+// qualifying run.
+#include "core/prefilter_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace vpm::core {
+
+// Gathers read data[idx .. idx+3] for idx <= len - q, and the verify/tail
+// helpers load 4 bytes at the same positions: all covered by kPrefilterPad.
+bool prefilter_screen_avx2(const PrefilterView& v, const std::uint8_t* data,
+                           std::size_t len) {
+  const std::size_t positions = len - v.q + 1;  // caller guarantees len >= q
+  const std::size_t span = std::size_t{8} * v.threshold;  // positions per block
+  const __m256i lane_off = _mm256_mullo_epi32(
+      _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+      _mm256_set1_epi32(static_cast<int>(v.threshold)));
+  const __m256i gram_mask = _mm256_set1_epi32(v.q == 4 ? -1 : 0x00FFFFFF);
+  const __m256i gamma = _mm256_set1_epi32(static_cast<int>(util::kGoldenGamma));
+  const __m256i m31 = _mm256_set1_epi32(31);
+  const __m256i one = _mm256_set1_epi32(1);
+  const __m256i wmask = _mm256_set1_epi32(static_cast<int>(v.word_mask));
+  const int* bytes = reinterpret_cast<const int*>(data);
+  const int* words_base = reinterpret_cast<const int*>(v.words);
+
+  std::size_t p = 0;
+  for (; p + (span - v.threshold) < positions; p += span) {  // lane 7 in range
+    const __m256i idx = _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(p)), lane_off);
+    const __m256i grams =
+        _mm256_and_si256(_mm256_i32gather_epi32(bytes, idx, 1), gram_mask);
+    const __m256i h = _mm256_mullo_epi32(grams, gamma);
+    const __m256i widx = _mm256_and_si256(_mm256_srli_epi32(h, 10), wmask);
+    const __m256i words = _mm256_i32gather_epi32(words_base, widx, 4);
+    const __m256i b1 = _mm256_and_si256(h, m31);
+    const __m256i b2 = _mm256_and_si256(_mm256_srli_epi32(h, 5), m31);
+    const __m256i hit = _mm256_and_si256(
+        _mm256_and_si256(_mm256_srlv_epi32(words, b1), _mm256_srlv_epi32(words, b2)),
+        one);
+    std::uint32_t m = static_cast<std::uint32_t>(_mm256_movemask_ps(
+                          _mm256_castsi256_ps(_mm256_cmpeq_epi32(hit, one)))) &
+                      0xFFu;
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      if (prefilter_verify_run(v, data, positions, p + std::size_t{lane} * v.threshold)) {
+        return true;
+      }
+      m &= m - 1;
+    }
+  }
+  return prefilter_screen_folded_tail(v, data, positions, p);
+}
+
+}  // namespace vpm::core
+
+#else  // no AVX2 toolchain support
+
+#include <cstdlib>
+
+namespace vpm::core {
+
+bool prefilter_screen_avx2(const PrefilterView&, const std::uint8_t*, std::size_t) {
+  std::abort();  // dispatch must not select an uncompiled kernel
+}
+
+}  // namespace vpm::core
+
+#endif

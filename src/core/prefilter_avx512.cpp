@@ -1,0 +1,69 @@
+// Approximate q-gram prefilter screen, AVX-512: 16 STRIDED probe positions
+// per block (lane j probes position p + j*threshold, so one block disposes
+// of 16*threshold positions), one gather for the grams and one for the
+// signature words, and a scalar neighborhood verify on the rare lanes that
+// hit.  See prefilter_kernels.hpp for why strided probing cannot miss a
+// qualifying run.
+#include "core/prefilter_kernels.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace vpm::core {
+
+// Gathers read data[idx .. idx+3] for idx <= len - q, and the verify/tail
+// helpers load 4 bytes at the same positions: all covered by kPrefilterPad.
+bool prefilter_screen_avx512(const PrefilterView& v, const std::uint8_t* data,
+                             std::size_t len) {
+  const std::size_t positions = len - v.q + 1;  // caller guarantees len >= q
+  const std::size_t span = std::size_t{16} * v.threshold;  // positions per block
+  const __m512i lane_off = _mm512_mullo_epi32(
+      _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+      _mm512_set1_epi32(static_cast<int>(v.threshold)));
+  const __m512i gram_mask = _mm512_set1_epi32(v.q == 4 ? -1 : 0x00FFFFFF);
+  const __m512i gamma = _mm512_set1_epi32(static_cast<int>(util::kGoldenGamma));
+  const __m512i m31 = _mm512_set1_epi32(31);
+  const __m512i one = _mm512_set1_epi32(1);
+  const __m512i wmask = _mm512_set1_epi32(static_cast<int>(v.word_mask));
+
+  std::size_t p = 0;
+  for (; p + (span - v.threshold) < positions; p += span) {  // lane 15 in range
+    const __m512i idx = _mm512_add_epi32(_mm512_set1_epi32(static_cast<int>(p)), lane_off);
+    const __m512i grams = _mm512_and_si512(_mm512_i32gather_epi32(idx, data, 1), gram_mask);
+    const __m512i h = _mm512_mullo_epi32(grams, gamma);
+    const __m512i widx = _mm512_and_si512(_mm512_srli_epi32(h, 10), wmask);
+    const __m512i words = _mm512_i32gather_epi32(widx, v.words, 4);
+    const __m512i b1 = _mm512_and_si512(h, m31);
+    const __m512i b2 = _mm512_and_si512(_mm512_srli_epi32(h, 5), m31);
+    const __m512i both =
+        _mm512_and_si512(_mm512_srlv_epi32(words, b1), _mm512_srlv_epi32(words, b2));
+    std::uint32_t m = _mm512_test_epi32_mask(both, one);
+    while (m != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(m));
+      if (prefilter_verify_run(v, data, positions, p + std::size_t{lane} * v.threshold)) {
+        return true;
+      }
+      m &= m - 1;
+    }
+  }
+  return prefilter_screen_folded_tail(v, data, positions, p);
+}
+
+}  // namespace vpm::core
+
+#else  // no AVX-512 toolchain support
+
+#include <cstdlib>
+
+namespace vpm::core {
+
+bool prefilter_screen_avx512(const PrefilterView&, const std::uint8_t*, std::size_t) {
+  std::abort();  // dispatch must not select an uncompiled kernel
+}
+
+}  // namespace vpm::core
+
+#endif

@@ -1,0 +1,107 @@
+// Kernel-side contract of the approximate q-gram prefilter (core/prefilter).
+//
+// A payload PASSES the screen iff it contains a run of at least `threshold`
+// CONSECUTIVE positions whose q-gram hits the blocked-Bloom signature.  A
+// pattern of length L >= q contributes L-q+1 consecutive hitting positions
+// wherever it occurs, and threshold is built as
+// min(min_pattern_len - q + 1, cap), so every payload containing any
+// pattern occurrence passes: rejection is exact, passing is approximate.
+//
+// Probe (shared bit-for-bit by the build, the scalar screen, and both
+// vector kernels): h = gram * kGoldenGamma; the word at ((h >> 10) &
+// word_mask) must have BOTH bit (h & 31) and bit ((h >> 5) & 31) set.
+// Grams are little-endian windows of case-FOLDED bytes (q = 3 masks the
+// top byte off a 4-byte load), so nocase and exact-case patterns screen
+// through one signature.
+//
+// Probing is STRIDED: any threshold consecutive integers contain a multiple
+// of threshold, so probing only positions 0, T, 2T, ... cannot miss a
+// qualifying run — a hit at a strided position is then verified by scanning
+// its neighborhood for the full run.  On the dominant reject path this cuts
+// the probe count (and the signature gathers) by a factor of threshold.
+//
+// Read contract of the vector kernels and of the folded helpers: the folded
+// payload copy must be readable up to data[len + kPrefilterPad - 1] (the
+// staging buffer zero-fills that slack, exactly like the AC lane kernels'
+// kStagePad).  The kernels are compiled per-ISA in prefilter_avx2.cpp /
+// prefilter_avx512.cpp with abort stubs on narrower toolchains; dispatch
+// goes through simd::cpu() and never reaches a stub.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace vpm::core {
+
+// Zeroed staging slack past the folded payload end, in bytes.  Every folded
+// access — the kernels' gram gathers and the verify/tail 4-byte loads — reads
+// data[p .. p+3] for a position p <= len - q, so reads reach at most
+// data[len] (q = 3); the pad keeps a wide margin on top of that.
+inline constexpr std::size_t kPrefilterPad = 16;
+
+// The probe-side view of a built signature (points into Prefilter storage).
+struct PrefilterView {
+  const std::uint32_t* words = nullptr;
+  std::uint32_t word_mask = 0;  // word_count - 1 (word_count is a power of 2)
+  std::uint32_t q = 0;          // 3 or 4
+  std::uint32_t threshold = 0;  // required consecutive-hit run length, >= 1
+};
+
+inline bool prefilter_probe(const PrefilterView& v, std::uint32_t gram) {
+  const std::uint32_t h = gram * util::kGoldenGamma;
+  const std::uint32_t w = v.words[(h >> 10) & v.word_mask];
+  return ((w >> (h & 31u)) & (w >> ((h >> 5) & 31u)) & 1u) != 0;
+}
+
+// The q-gram at position p of an already-FOLDED payload copy (4-byte load
+// even for q = 3: requires the kPrefilterPad slack).
+inline std::uint32_t prefilter_gram_folded(const PrefilterView& v,
+                                           const std::uint8_t* data, std::size_t p) {
+  return util::load_u32(data + p) & (v.q == 4 ? 0xFFFFFFFFu : 0x00FFFFFFu);
+}
+
+// Verify step after a strided hit at position p (which must itself hit):
+// extend the hit run left and right until it either reaches threshold or
+// breaks.  Extension stops as soon as the run qualifies, so the scan cost is
+// bounded by threshold regardless of how long the true run is.
+inline bool prefilter_verify_run(const PrefilterView& v, const std::uint8_t* data,
+                                 std::size_t positions, std::size_t p) {
+  std::size_t l = p;
+  std::size_t r = p + 1;
+  while (l > 0 && r - l < v.threshold &&
+         prefilter_probe(v, prefilter_gram_folded(v, data, l - 1))) {
+    --l;
+  }
+  while (r < positions && r - l < v.threshold &&
+         prefilter_probe(v, prefilter_gram_folded(v, data, r))) {
+    ++r;
+  }
+  return r - l >= v.threshold;
+}
+
+// Scalar strided screen over FOLDED bytes from position `start` (which must
+// be a multiple of threshold, so the stride lattice stays aligned with the
+// callers' vector blocks) to the end.  Serves as the kernels' tail and as
+// the whole-payload fallback for staged copies.
+inline bool prefilter_screen_folded_tail(const PrefilterView& v, const std::uint8_t* data,
+                                         std::size_t positions, std::size_t start) {
+  for (std::size_t p = start; p < positions; p += v.threshold) {
+    if (prefilter_probe(v, prefilter_gram_folded(v, data, p)) &&
+        prefilter_verify_run(v, data, positions, p)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Vectorized whole-payload screens over a folded copy (see the read
+// contract above).  Defined in the ISA-split translation units; must only
+// be called when simd::cpu() reports the matching kernel.
+bool prefilter_screen_avx2(const PrefilterView& v, const std::uint8_t* data,
+                           std::size_t len);
+bool prefilter_screen_avx512(const PrefilterView& v, const std::uint8_t* data,
+                             std::size_t len);
+
+}  // namespace vpm::core

@@ -22,7 +22,9 @@ struct ScanGuard {
 }  // namespace
 
 IdsEngine::IdsEngine(const pattern::PatternSet& rules, EngineConfig cfg)
-    : rules_(std::make_shared<const GroupedRules>(rules, cfg.algorithm)) {}
+    : rules_(std::make_shared<const GroupedRules>(rules, cfg.algorithm)) {
+  prefilter_mode_ = cfg.prefilter;
+}
 
 IdsEngine::IdsEngine(DatabasePtr db)
     : rules_(std::make_shared<const GroupedRules>(std::move(db))) {}
@@ -42,6 +44,8 @@ void IdsEngine::swap_rules(GroupedRulesPtr rules, AlertSink& sink) {
   // the new generation (counters_.flows keeps counting distinct arrivals).
   flows_.clear();
   rules_ = std::move(rules);
+  // New signatures, new traffic regime: restart the auto-mode sampling.
+  pf_auto_.fill({});
 }
 
 IdsEngine::FlowState& IdsEngine::flow_for(std::uint64_t flow_id, pattern::Group protocol) {
@@ -69,6 +73,21 @@ void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::By
   if (flow->scanner.staged()) {
     flush_batch(out);
     flow = &flow_for(flow_id, protocol);
+  }
+
+  // When the approximate screen would engage for this group, route through
+  // the staged path: it is the one place that knows how to screen a view,
+  // commit carry for rejected chunks, and keep the per-group auto-mode
+  // sampling coherent.  The batch path's alert multiset per chunk is
+  // identical to the feed below, so callers can't tell — except that the
+  // prefilter counters now move on the per-chunk API too.
+  if (const core::PrefilterPtr& pf = rules_->prefilter_for(flow->protocol);
+      pf != nullptr &&
+      (prefilter_mode_ == core::PrefilterMode::on ||
+       (prefilter_mode_ == core::PrefilterMode::automatic && pf->advised()))) {
+    stage(flow_id, protocol, chunk, out);
+    flush_batch(out);
+    return;
   }
 
   struct MatchToAlert final : MatchSink {
@@ -154,14 +173,76 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
     if (g.views.empty()) continue;
     const pattern::Group group = static_cast<pattern::Group>(gi);
 
+    // Approximate screen ahead of the exact engine.  `off` never screens;
+    // `on` screens whenever the group has a signature; `automatic` screens
+    // advised groups, minus the adaptive-bypass stretches.
+    const core::PrefilterPtr& pf = rules_->prefilter_for(group);
+    bool engaged = false;
+    if (pf != nullptr && prefilter_mode_ != core::PrefilterMode::off) {
+      if (prefilter_mode_ == core::PrefilterMode::on) {
+        engaged = true;
+      } else if (pf->advised()) {
+        PrefilterAuto& a = pf_auto_[gi];
+        if (a.bypass_payloads > 0) {
+          a.bypass_payloads -= static_cast<std::uint32_t>(
+              std::min<std::size_t>(a.bypass_payloads, g.views.size()));
+        } else {
+          engaged = true;
+        }
+      }
+    }
+    if (engaged) {
+      verdicts_.resize(g.views.size());
+      pf->screen_batch(g.views, verdicts_.data(), pf_scratch_[gi]);
+      std::uint64_t pass_bytes = 0;
+      std::uint64_t reject_bytes = 0;
+      for (std::size_t i = 0; i < g.views.size(); ++i) {
+        if (verdicts_[i] != 0) {
+          g.passed_views.push_back(g.views[i]);
+          g.passed_staged.push_back(g.staged_index[i]);
+          pass_bytes += g.views[i].size();
+        } else {
+          reject_bytes += g.views[i].size();
+        }
+      }
+      const std::uint64_t pass_n = g.passed_views.size();
+      const std::uint64_t reject_n = g.views.size() - pass_n;
+      counters_.prefilter_pass_payloads += pass_n;
+      counters_.prefilter_reject_payloads += reject_n;
+      counters_.prefilter_pass_bytes += pass_bytes;
+      counters_.prefilter_reject_bytes += reject_bytes;
+      if (telemetry::Counter* c = telemetry_.prefilter_pass_payloads[gi]) c->add(pass_n);
+      if (telemetry::Counter* c = telemetry_.prefilter_reject_payloads[gi]) {
+        c->add(reject_n);
+      }
+      if (telemetry::Counter* c = telemetry_.prefilter_pass_bytes[gi]) c->add(pass_bytes);
+      if (telemetry::Counter* c = telemetry_.prefilter_reject_bytes[gi]) {
+        c->add(reject_bytes);
+      }
+      if (prefilter_mode_ == core::PrefilterMode::automatic) {
+        PrefilterAuto& a = pf_auto_[gi];
+        a.sampled += static_cast<std::uint32_t>(g.views.size());
+        a.passed += static_cast<std::uint32_t>(pass_n);
+        if (a.sampled >= kPrefilterSampleWindow) {
+          if (a.passed * 2 > a.sampled) a.bypass_payloads = kPrefilterBypassPayloads;
+          a.sampled = 0;
+          a.passed = 0;
+        }
+      }
+    }
+    const std::vector<util::ByteView>& scan_views = engaged ? g.passed_views : g.views;
+
     struct BatchToAlert final : BatchSink {
       const IdsEngine* self = nullptr;
       AlertSink* out = nullptr;
-      const GroupGather* gather = nullptr;
+      // Maps a scanned-batch packet index back to pending_ (the screened-in
+      // subsequence when the prefilter is engaged, all staged views
+      // otherwise).
+      const std::uint32_t* to_staged = nullptr;
       pattern::Group group{};
       std::uint64_t emitted = 0;
       void on_match(std::uint32_t packet, const Match& m) override {
-        const Staged& s = self->pending_[gather->staged_index[packet]];
+        const Staged& s = self->pending_[to_staged[packet]];
         if (s.flow->scanner.already_reported(m, s.carry)) return;
         out->on_alert(Alert{s.flow_id, self->rules_->master_id(group, m.pattern_id),
                             s.base + m.pos, group, self->rules_->generation()});
@@ -170,14 +251,16 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
     } sink;
     sink.self = this;
     sink.out = &out;
-    sink.gather = &g;
+    sink.to_staged = engaged ? g.passed_staged.data() : g.staged_index.data();
     sink.group = group;
 
-    rules_->matcher_for(group).scan_batch(g.views, sink, scratch_[gi]);
+    if (!scan_views.empty()) {
+      rules_->matcher_for(group).scan_batch(scan_views, sink, scratch_[gi]);
+    }
     counters_.alerts += sink.emitted;
     if (telemetry::Counter* c = telemetry_.group_scan_bytes[gi]; c != nullptr) {
       std::uint64_t bytes = 0;
-      for (const util::ByteView& v : g.views) bytes += v.size();
+      for (const util::ByteView& v : scan_views) bytes += v.size();
       c->add(bytes);
     }
     if (telemetry::Counter* c = telemetry_.group_alerts[gi]; c != nullptr) {
@@ -185,6 +268,8 @@ void IdsEngine::flush_batch_impl(AlertSink& out) {
     }
     g.views.clear();
     g.staged_index.clear();
+    g.passed_views.clear();
+    g.passed_staged.clear();
   }
 
   for (Staged& s : pending_) {

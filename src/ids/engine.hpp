@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/prefilter.hpp"
 #include "ids/alert.hpp"
 #include "ids/flow.hpp"
 #include "ids/rule_group.hpp"
@@ -21,6 +22,7 @@ namespace vpm::ids {
 
 struct EngineConfig {
   core::Algorithm algorithm = core::Algorithm::vpatch;
+  core::PrefilterMode prefilter = core::PrefilterMode::automatic;
 };
 
 struct EngineCounters {
@@ -28,6 +30,12 @@ struct EngineCounters {
   std::uint64_t chunks = 0;
   std::uint64_t alerts = 0;
   std::uint64_t flows = 0;  // distinct flows ever seen (not currently active)
+  // Prefilter screening decisions (flush_batch path; counted only when the
+  // screen actually ran — bypassed or prefilter-off payloads count neither).
+  std::uint64_t prefilter_pass_payloads = 0;
+  std::uint64_t prefilter_reject_payloads = 0;
+  std::uint64_t prefilter_pass_bytes = 0;
+  std::uint64_t prefilter_reject_bytes = 0;
 };
 
 inline constexpr std::size_t kEngineGroupCount =
@@ -41,8 +49,15 @@ struct EngineTelemetry {
   // Wall latency of each flush_batch() scan round, in seconds.
   telemetry::Histogram* flush_latency = nullptr;
   // Bytes scanned / alerts raised per rule group (indexed by pattern::Group).
+  // group_scan_bytes counts bytes that reached the exact engine: with the
+  // prefilter engaged, rejected payloads are excluded.
   std::array<telemetry::Counter*, kEngineGroupCount> group_scan_bytes{};
   std::array<telemetry::Counter*, kEngineGroupCount> group_alerts{};
+  // Prefilter screening outcomes per group (vpm_prefilter_* metrics).
+  std::array<telemetry::Counter*, kEngineGroupCount> prefilter_pass_payloads{};
+  std::array<telemetry::Counter*, kEngineGroupCount> prefilter_reject_payloads{};
+  std::array<telemetry::Counter*, kEngineGroupCount> prefilter_pass_bytes{};
+  std::array<telemetry::Counter*, kEngineGroupCount> prefilter_reject_bytes{};
 
   bool enabled() const { return flush_latency != nullptr; }
 };
@@ -124,6 +139,13 @@ class IdsEngine {
   // before the owning worker starts processing.
   void set_telemetry(const EngineTelemetry& t) { telemetry_ = t; }
 
+  // Prefilter engagement policy for the flush_batch path (see PrefilterMode).
+  // Alert results are mode-independent (the screen has zero false negatives);
+  // only throughput and the prefilter_* counters change.  Not synchronized
+  // against concurrent scans — set before processing starts.
+  void set_prefilter_mode(core::PrefilterMode mode) { prefilter_mode_ = mode; }
+  core::PrefilterMode prefilter_mode() const { return prefilter_mode_; }
+
  private:
   struct FlowState {
     pattern::Group protocol;
@@ -155,10 +177,34 @@ class IdsEngine {
   struct GroupGather {
     std::vector<util::ByteView> views;
     std::vector<std::uint32_t> staged_index;
+    // The screened-in subset handed to the exact engine when the prefilter
+    // is engaged (parallel arrays, subsequences of the two above).
+    std::vector<util::ByteView> passed_views;
+    std::vector<std::uint32_t> passed_staged;
   };
   std::vector<Staged> pending_;
   std::array<GroupGather, kGroups> gather_;
   std::array<ScanScratch, kGroups> scratch_;
+  // The prefilter stages folded payload copies in its own scratch: sharing
+  // scratch_[gi] would make screen and scan evict each other's state_for
+  // slot every flush (the slot is keyed per owner).
+  std::array<ScanScratch, kGroups> pf_scratch_;
+  std::vector<std::uint8_t> verdicts_;
+  core::PrefilterMode prefilter_mode_ = core::PrefilterMode::automatic;
+  // PrefilterMode::automatic adaptive bypass: sample the screen's pass ratio
+  // over windows of kPrefilterSampleWindow payloads; when a window passes
+  // more than half (match-heavy traffic, or a threshold-1 signature too weak
+  // to reject), skip screening for the next kPrefilterBypassPayloads
+  // payloads, then sample again.  31 bypass windows per sample window keeps
+  // steady-state sampling overhead ~3% on hostile traffic.
+  struct PrefilterAuto {
+    std::uint32_t sampled = 0;
+    std::uint32_t passed = 0;
+    std::uint32_t bypass_payloads = 0;
+  };
+  static constexpr std::uint32_t kPrefilterSampleWindow = 64;
+  static constexpr std::uint32_t kPrefilterBypassPayloads = 31 * 64;
+  std::array<PrefilterAuto, kGroups> pf_auto_{};
   // Set while a scan is live (flush_batch, or inspect()'s feed): close_flow
   // from an AlertSink defers while set, so the scanner/batch being driven is
   // never destroyed under its own callback.

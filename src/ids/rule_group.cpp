@@ -31,6 +31,8 @@ void GroupedRules::build(const pattern::PatternSet& master, core::Algorithm algo
         entry.max_len = std::max(entry.max_len, p.size());
       }
     }
+    entry.prefilter = db_ != nullptr ? db_->prefilter_for(group)
+                                     : core::build_prefilter(entry.patterns);
     if (entry.patterns.empty()) {
       // Keep a valid (trivially empty-result) matcher for protocol groups
       // with no rules: one unmatched sentinel pattern is cheaper than a null

@@ -65,6 +65,13 @@ class GroupedRules {
   const std::vector<std::uint32_t>& pattern_lengths(pattern::Group g) const {
     return entries_[index(g)].lengths;
   }
+  // The group's approximate q-gram signature (null = no usable signature).
+  // Comes from the backing Database when built from one (so a deserialized
+  // artifact screens with the exact saved signature); the legacy shim path
+  // builds it locally over the group's working set.
+  const core::PrefilterPtr& prefilter_for(pattern::Group g) const {
+    return entries_[index(g)].prefilter;
+  }
 
  private:
   static std::size_t index(pattern::Group g) { return static_cast<std::size_t>(g); }
@@ -76,6 +83,7 @@ class GroupedRules {
     std::vector<std::uint32_t> to_master;
     std::vector<std::uint32_t> lengths;
     MatcherPtr matcher;
+    core::PrefilterPtr prefilter;
     std::size_t max_len = 0;
   };
   DatabasePtr db_;  // null on the legacy shim path

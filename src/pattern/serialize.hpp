@@ -50,4 +50,11 @@ util::Bytes serialize_patterns(const PatternSet& set, const DbHeader& header);
 // invalid fields.
 PatternSet deserialize_patterns(util::ByteView data, DbHeader* header = nullptr);
 
+// As above, additionally reporting where the pattern records end:
+// *consumed is the offset of the first byte after the last pattern record.
+// The compile layer appends (and re-parses) trailing sections — the v2
+// prefilter artifact — after that offset.
+PatternSet deserialize_patterns(util::ByteView data, DbHeader* header,
+                                std::size_t* consumed);
+
 }  // namespace vpm::pattern

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/matcher_factory.hpp"
+#include "core/prefilter.hpp"
 #include "ids/alert.hpp"
 #include "net/packet.hpp"
 #include "net/reassembly.hpp"
@@ -63,6 +64,10 @@ struct PipelineConfig {
   // Engine for the legacy PatternSet constructor only; the DatabasePtr
   // constructor takes the algorithm from the compiled database.
   core::Algorithm algorithm = core::Algorithm::vpatch;
+  // Approximate q-gram prefilter ahead of each worker's exact engines.
+  // Alert output is mode-independent (zero false negatives); `automatic`
+  // screens heavy groups and adaptively bypasses when traffic is match-heavy.
+  core::PrefilterMode prefilter = core::PrefilterMode::automatic;
   unsigned workers = 2;              // shard / worker-thread count (>= 1)
   std::size_t batch_packets = 32;    // packets per batch before a ring push
   std::size_t ring_batches = 256;    // per-worker ring capacity, in batches

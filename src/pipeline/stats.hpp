@@ -59,6 +59,12 @@ struct WorkerStats {
   std::uint64_t heartbeats = 0;         // worker loop iterations (liveness)
   std::uint64_t sink_errors = 0;        // alert-sink deliveries that threw
   std::uint64_t sink_quarantined = 0;   // gauge: 1 when the sink is quarantined
+  // Approximate prefilter screening outcomes (zero when the prefilter is off
+  // or bypassed; pass+reject <= chunks since only screened chunks count).
+  std::uint64_t prefilter_pass_payloads = 0;
+  std::uint64_t prefilter_reject_payloads = 0;
+  std::uint64_t prefilter_pass_bytes = 0;
+  std::uint64_t prefilter_reject_bytes = 0;
 
   // THE single enumeration of every field, with its name and kind.  Every
   // stats surface (totals() aggregation below, the human formatter and the
@@ -98,11 +104,18 @@ struct WorkerStats {
     f("heartbeats", StatKind::counter, &WorkerStats::heartbeats);
     f("sink_errors", StatKind::counter, &WorkerStats::sink_errors);
     f("sink_quarantined", StatKind::gauge, &WorkerStats::sink_quarantined);
+    f("prefilter_pass_payloads", StatKind::counter,
+      &WorkerStats::prefilter_pass_payloads);
+    f("prefilter_reject_payloads", StatKind::counter,
+      &WorkerStats::prefilter_reject_payloads);
+    f("prefilter_pass_bytes", StatKind::counter, &WorkerStats::prefilter_pass_bytes);
+    f("prefilter_reject_bytes", StatKind::counter,
+      &WorkerStats::prefilter_reject_bytes);
   }
 
-  // 27 uint64 fields.  If this fires you added a field: list it in
+  // 31 uint64 fields.  If this fires you added a field: list it in
   // for_each_field (pick its StatKind deliberately) and bump the count.
-  static constexpr std::size_t kFieldCount = 27;
+  static constexpr std::size_t kFieldCount = 31;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     for_each_field([&](const char*, StatKind kind, auto member) {

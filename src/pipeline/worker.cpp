@@ -54,6 +54,7 @@ Worker::Worker(ids::GroupedRulesPtr rules, const PipelineConfig& cfg,
       swaps_(swaps),
       overload_(cfg.overload),
       base_buffered_budget_(cfg.reassembly.max_buffered_bytes) {
+  engine_.set_prefilter_mode(cfg.prefilter);
   // Connection end (FIN completion, RST, close, eviction) is a stream
   // boundary: scan anything still staged under the dying streams, then drop
   // both sides' scanner state so a reused tuple starts a fresh stream.  This
@@ -98,6 +99,20 @@ void Worker::enable_telemetry(telemetry::MetricsRegistry& reg, unsigned index) {
     et.group_alerts[gi] =
         &reg.counter("vpm_group_alerts_total", "Alerts raised per rule group",
                      {{"group", group}, {"worker", worker}});
+    et.prefilter_pass_payloads[gi] = &reg.counter(
+        "vpm_prefilter_pass_payloads_total",
+        "Payloads the approximate prefilter passed to the exact engine",
+        {{"group", group}, {"worker", worker}});
+    et.prefilter_reject_payloads[gi] = &reg.counter(
+        "vpm_prefilter_reject_payloads_total",
+        "Payloads the approximate prefilter rejected (exactly: no match possible)",
+        {{"group", group}, {"worker", worker}});
+    et.prefilter_pass_bytes[gi] = &reg.counter(
+        "vpm_prefilter_pass_bytes_total", "Bytes of prefilter-passed payloads",
+        {{"group", group}, {"worker", worker}});
+    et.prefilter_reject_bytes[gi] = &reg.counter(
+        "vpm_prefilter_reject_bytes_total", "Bytes of prefilter-rejected payloads",
+        {{"group", group}, {"worker", worker}});
   }
   engine_.set_telemetry(et);
 
@@ -388,6 +403,14 @@ void Worker::publish_stats() {
   published_.active_flows.store(engine_.active_flows(), std::memory_order_relaxed);
   published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
   published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
+  published_.prefilter_pass_payloads.store(ec.prefilter_pass_payloads,
+                                           std::memory_order_relaxed);
+  published_.prefilter_reject_payloads.store(ec.prefilter_reject_payloads,
+                                             std::memory_order_relaxed);
+  published_.prefilter_pass_bytes.store(ec.prefilter_pass_bytes,
+                                        std::memory_order_relaxed);
+  published_.prefilter_reject_bytes.store(ec.prefilter_reject_bytes,
+                                          std::memory_order_relaxed);
 }
 
 WorkerStats Worker::stats() const {
@@ -422,6 +445,14 @@ WorkerStats Worker::stats() const {
   s.heartbeats = heartbeat_.load(std::memory_order_relaxed);
   s.sink_errors = guarded_sink_.errors();
   s.sink_quarantined = guarded_sink_.quarantined() ? 1 : 0;
+  s.prefilter_pass_payloads =
+      published_.prefilter_pass_payloads.load(std::memory_order_relaxed);
+  s.prefilter_reject_payloads =
+      published_.prefilter_reject_payloads.load(std::memory_order_relaxed);
+  s.prefilter_pass_bytes =
+      published_.prefilter_pass_bytes.load(std::memory_order_relaxed);
+  s.prefilter_reject_bytes =
+      published_.prefilter_reject_bytes.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -226,6 +226,10 @@ class Worker {
     std::atomic<std::uint64_t> shed_bytes{0};
     std::atomic<std::uint64_t> degradation_level{0};
     std::atomic<std::uint64_t> degradation_transitions{0};
+    std::atomic<std::uint64_t> prefilter_pass_payloads{0};
+    std::atomic<std::uint64_t> prefilter_reject_payloads{0};
+    std::atomic<std::uint64_t> prefilter_pass_bytes{0};
+    std::atomic<std::uint64_t> prefilter_reject_bytes{0};
   };
   AtomicStats published_;
   std::uint64_t evicted_ = 0;  // engine+reassembler evictions (thread-local)

@@ -162,6 +162,53 @@ TEST(AllocTest, EngineStageFlushSteadyStateIsAllocationFree) {
   EXPECT_GT(sink.alerts, 0u) << "workload must produce alerts to be meaningful";
 }
 
+// Engine-level with the approximate prefilter forced on: the screen stages
+// case-folded payload copies and emits verdicts every flush — all of it
+// grow-to-high-water, so the steady state must stay allocation-free.  The
+// ruleset has a length floor (random_set's 1-byte patterns would null the
+// signatures and silently skip the screen path).
+TEST(AllocTest, EnginePrefilterScreenSteadyStateIsAllocationFree) {
+  pattern::PatternSet rules;
+  {
+    util::Rng rng(case_seed(305));
+    while (rules.size() < 150) {
+      const std::size_t len = 4 + rng.below(5);  // 4..8 bytes
+      util::Bytes b(len);
+      for (auto& c : b) c = static_cast<std::uint8_t>('a' + rng.below(4));
+      rules.add(std::move(b), rng.chance(0.3));
+    }
+  }
+  ids::IdsEngine engine(rules, {core::Algorithm::vpatch, core::PrefilterMode::on});
+  CountingAlertSink sink;
+
+  const util::Bytes pool = testutil::random_text(1 << 16, case_seed(306));
+  const pattern::Group groups[] = {pattern::Group::http, pattern::Group::generic,
+                                   pattern::Group::dns};
+  const std::size_t sizes[] = {1500, 700, 256, 64, 1};
+
+  const auto drive = [&](int round) {
+    for (std::uint64_t flow = 0; flow < 6; ++flow) {
+      const std::size_t size = sizes[(round + flow) % std::size(sizes)];
+      const std::size_t offset = ((round * 131 + flow * 977) % (pool.size() - 1500));
+      engine.stage(flow, groups[flow % std::size(groups)],
+                   {pool.data() + offset, size}, sink);
+    }
+    engine.flush_batch(sink);
+  };
+
+  for (int round = 0; round < 10; ++round) drive(round);  // warm-up
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) drive(round);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "prefilter screen allocated in steady state ("
+                           << seed_note() << ")";
+  const auto& counters = engine.counters();
+  EXPECT_GT(counters.prefilter_pass_payloads + counters.prefilter_reject_payloads, 0u)
+      << "the screen must actually have run to be meaningful";
+  EXPECT_GT(sink.alerts, 0u) << "workload must produce alerts to be meaningful";
+}
+
 // The disarmed failpoint check sits on the hottest paths (every ring push
 // and pop, every reassembly buffering decision): it must stay one relaxed
 // load — no allocation, and no fires.
