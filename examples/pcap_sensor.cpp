@@ -3,6 +3,19 @@
 //
 //   ./pcap_sensor <capture.pcap> [rules.rules]   inspect a real capture
 //   ./pcap_sensor --demo                         generate + inspect a capture
+//   ./pcap_sensor --source=SPEC ...              where packets come from:
+//                                                pcap:FILE (same as the
+//                                                positional form),
+//                                                trace:mixed|evasion[,flows=..,
+//                                                epochs=..] generated soak
+//                                                traffic, afpacket:IFACE live
+//                                                capture (VPM_WITH_AFPACKET)
+//   ./pcap_sensor --cpu-list=0-3,8 ...           pin worker i to the i-th
+//                                                listed CPU (and replicate the
+//                                                compiled rules per NUMA node)
+//   ./pcap_sensor --numa=auto ...                derive the pin list from the
+//                                                detected topology, workers
+//                                                interleaved across nodes
 //   ./pcap_sensor --workers=N ...                shard flows across N workers
 //   ./pcap_sensor --batch=N ...                  packets per ring batch (with
 //                                                --workers; batches feed the
@@ -36,10 +49,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "capture/capture_telemetry.hpp"
+#include "capture/pcap_source.hpp"
+#include "capture/source.hpp"
+#include "capture/topology.hpp"
 #include "core/database.hpp"
 #include "core/matcher_factory.hpp"
 #include "ids/pcap_pipeline.hpp"
 #include "net/flowgen.hpp"
+#include "net/pcap.hpp"
 #include "pattern/ruleset_gen.hpp"
 #include "pattern/snort_rules.hpp"
 #include "pipeline/runtime.hpp"
@@ -59,6 +77,9 @@ struct SensorOptions {
   unsigned workers = 0;           // 0 = single-threaded inspect_pcap path
   std::size_t batch_packets = 0;  // 0 = PipelineConfig default
   std::size_t swap_after = 0;     // 0 = no hot-swap
+  std::string source_spec;        // --source= (positional pcap path otherwise)
+  std::vector<int> worker_cpus;   // --cpu-list / --numa=auto pinning
+  std::size_t max_packets = 0;    // stop a live/endless source after N (0 = no cap)
   core::Algorithm algo = core::Algorithm::vpatch;
   core::PrefilterMode prefilter = core::PrefilterMode::automatic;
   net::ReassemblyConfig reassembly;
@@ -102,10 +123,8 @@ class FlowRegistrar {
   std::unordered_map<std::uint64_t, net::Direction> dirs_;
 };
 
-int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
+int run_sharded(capture::CaptureSource& source, const pattern::PatternSet& rules,
                 const SensorOptions& opt) {
-  auto parsed = net::read_pcap(pcap_bytes);
-
   // Compile once, share everywhere: the database owns its pattern copy and
   // is handed to the runtime as an immutable artifact.
   const DatabasePtr db = compile(opt.algo, rules);
@@ -119,6 +138,9 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   cfg.prefilter = opt.prefilter;
   cfg.reassembly = opt.reassembly;
   cfg.overload = opt.overload;
+  cfg.worker_cpus = opt.worker_cpus;
+  // Pinned workers get per-NUMA-node replicas of the compiled ruleset.
+  cfg.numa_replicate_rules = !opt.worker_cpus.empty();
   if (opt.batch_packets > 0) cfg.batch_packets = opt.batch_packets;
   if (opt.metrics_port >= 0) cfg.metrics = &registry;
 
@@ -137,6 +159,16 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   }
 
   pipeline::PipelineRuntime rt(db, cfg);
+  if (cfg.numa_replicate_rules && rt.rules_replicas() > 1) {
+    std::printf("numa: %zu ruleset replicas across pinned nodes\n",
+                rt.rules_replicas());
+  }
+
+  std::unique_ptr<capture::CaptureTelemetry> capture_metrics;
+  if (opt.metrics_port >= 0) {
+    capture_metrics =
+        std::make_unique<capture::CaptureTelemetry>(registry, source.kind());
+  }
 
   // The exporter outlives nothing: declared after the runtime so its
   // destructor joins the listener thread before `rt` (which its /metrics
@@ -163,28 +195,40 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   // new ruleset (bench_compile measures it) must not distort the data-plane
   // Gbps this mode reports alongside the non-swap one.
   DatabasePtr db2;
-  if (opt.swap_after > 0 && opt.swap_after < parsed.packets.size()) {
+  if (opt.swap_after > 0) {
     db2 = compile(opt.algo, rules);  // stands in for a newly distributed ruleset
   }
   const auto submit = [&](net::Packet& p) {
     if (registrar != nullptr) registrar->see(p);
     rt.submit(std::move(p));
   };
+  // One pull loop for every source kind: the file source exhausts, the trace
+  // source exhausts after its epochs (or never, epochs=0), the ring source
+  // never does — --max-packets bounds the latter two.
   util::Timer timer;
-  if (db2 != nullptr) {
-    for (std::size_t i = 0; i < opt.swap_after; ++i) submit(parsed.packets[i]);
-    // Quiesce-then-swap: every packet so far is attributed to generation 1,
-    // everything after to generation 2 — the zero-drop reload recipe.
-    rt.quiesce();
-    rt.swap_database(db2);
-    for (std::size_t i = opt.swap_after; i < parsed.packets.size(); ++i) {
-      submit(parsed.packets[i]);
+  std::vector<net::Packet> pulled;
+  std::size_t submitted = 0;
+  bool swapped = db2 == nullptr;
+  while (!source.exhausted() &&
+         (opt.max_packets == 0 || submitted < opt.max_packets)) {
+    pulled.clear();
+    if (source.poll(pulled, 256) == 0) continue;  // ring sources wait inside
+    for (net::Packet& p : pulled) {
+      submit(p);
+      ++submitted;
+      if (!swapped && submitted >= opt.swap_after) {
+        // Quiesce-then-swap: every packet so far is attributed to generation
+        // 1, everything after to generation 2 — the zero-drop reload recipe.
+        rt.quiesce();
+        rt.swap_database(db2);
+        swapped = true;
+      }
     }
-  } else {
-    for (net::Packet& p : parsed.packets) submit(p);
+    if (capture_metrics != nullptr) capture_metrics->publish(source);
   }
   rt.stop();
   const double secs = timer.seconds();
+  if (capture_metrics != nullptr) capture_metrics->publish(source);
   if (json_sink != nullptr) json_sink->flush();
 
   // With --alert-json the live sink collected the alerts; otherwise the
@@ -192,7 +236,7 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
   const std::vector<ids::Alert>& alerts =
       json_sink != nullptr ? collected : rt.alerts();
 
-  if (db2 != nullptr) {
+  if (db2 != nullptr && swapped) {
     std::size_t gen1 = 0, gen2 = 0;
     for (const ids::Alert& a : alerts) {
       if (a.generation == db->generation()) ++gen1;
@@ -207,14 +251,16 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
                 static_cast<unsigned long long>(db2->fingerprint()));
   }
 
+  const auto cap_stats = source.stats();
   const auto stats = rt.stats();
   const auto totals = stats.totals();
-  std::printf("%zu packets (skipped %zu), batch %zu, overlap policy %s, "
+  std::printf("%zu packets (skipped %llu), batch %zu, overlap policy %s, "
               "overload policy %s, prefilter %s\n",
-              parsed.packets.size(), parsed.skipped_records, cfg.batch_packets,
-              net::overlap_policy_name(opt.reassembly.overlap),
+              submitted, static_cast<unsigned long long>(cap_stats.skipped),
+              cfg.batch_packets, net::overlap_policy_name(opt.reassembly.overlap),
               opt.overload_name.c_str(),
               std::string(core::prefilter_mode_name(opt.prefilter)).c_str());
+  std::printf("%s\n", capture::describe_capture_stats(source).c_str());
   // The one shared stats formatter (every WorkerStats field, totals + per
   // worker) — the same field table the /metrics endpoint renders from.
   std::fputs(telemetry::describe_pipeline_stats(stats).c_str(), stdout);
@@ -222,7 +268,7 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
               "%.0f kpkt/s)\n",
               static_cast<unsigned long long>(totals.bytes_inspected), secs,
               util::gbps(totals.bytes_inspected, secs),
-              secs > 0 ? static_cast<double>(parsed.packets.size()) / secs / 1e3 : 0.0);
+              secs > 0 ? static_cast<double>(submitted) / secs / 1e3 : 0.0);
   std::printf("%zu alerts; first 10:\n", alerts.size());
   for (std::size_t i = 0; i < alerts.size() && i < 10; ++i) {
     std::printf("  %s\n", format_alert(alerts[i], rules).c_str());
@@ -239,6 +285,36 @@ int run_sharded(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
     std::this_thread::sleep_for(std::chrono::seconds(opt.serve_seconds));
   }
   return json_sink != nullptr && !json_sink->ok() ? 1 : 0;
+}
+
+// Opens the source spec and routes to the sharded pipeline or the
+// single-threaded inspect_pcap reference.  The reference path consumes raw
+// pcap bytes; a trace source is drained and round-tripped through the pcap
+// writer so both paths inspect the identical byte stream.
+int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
+        const SensorOptions& opt);
+
+int dispatch(const std::string& spec, const pattern::PatternSet& rules,
+             const SensorOptions& opt) {
+  std::unique_ptr<capture::CaptureSource> source = capture::open_source(spec);
+  if (opt.workers > 0) return run_sharded(*source, rules, opt);
+  if (const auto* pf = dynamic_cast<const capture::PcapFileSource*>(source.get())) {
+    return run(pf->raw(), rules, opt);
+  }
+  if (source->kind() == "trace") {
+    std::vector<net::Packet> packets;
+    while (!source->exhausted() &&
+           (opt.max_packets == 0 || packets.size() < opt.max_packets)) {
+      if (source->poll(packets, 4096) == 0) break;
+    }
+    if (opt.max_packets != 0 && packets.size() > opt.max_packets) {
+      packets.resize(opt.max_packets);
+    }
+    return run(net::write_pcap(packets), rules, opt);
+  }
+  std::fprintf(stderr, "--source=%s is a live capture; add --workers=N\n",
+               spec.c_str());
+  return 2;
 }
 
 int run(const util::Bytes& pcap_bytes, const pattern::PatternSet& rules,
@@ -328,7 +404,11 @@ int run_demo(const SensorOptions& opt) {
   rules.add("cgi-bin/..", true, pattern::Group::http);
   rules.add("UNION SELECT", true, pattern::Group::http);
   rules.add("<script>alert(", true, pattern::Group::http);
-  return opt.workers > 0 ? run_sharded(pcap, rules, opt) : run(pcap, rules, opt);
+  if (opt.workers > 0) {
+    capture::PcapFileSource source(pcap);
+    return run_sharded(source, rules, opt);
+  }
+  return run(pcap, rules, opt);
 }
 
 // The engine list is the factory's advertised contract for THIS CPU (vector
@@ -345,11 +425,20 @@ std::string algo_names() {
 
 void print_usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--workers=N] [--batch=N] [--algo=NAME] [--prefilter=MODE] "
-               "[--swap-after=N] "
+               "usage: %s [--source=SPEC] [--workers=N] [--batch=N] [--algo=NAME] "
+               "[--prefilter=MODE] [--swap-after=N] [--cpu-list=LIST] [--numa=auto] "
+               "[--max-packets=N] "
                "[--overlap-policy=NAME] [--overload-policy=NAME] [--fail=SPEC] "
                "[--fail-seed=N] [--metrics-port=N] [--serve-seconds=N] "
                "[--alert-json=FILE] <capture.pcap> [rules.rules]  |  %s --demo\n"
+               "  --source=SPEC    pcap:FILE | trace:mixed|evasion[,flows=N,"
+               "seed=N,epochs=N] | afpacket:IFACE[,blocks=N,block_kb=N,fanout=ID] "
+               "(a bare path means pcap)\n"
+               "  --cpu-list=LIST  pin worker i to the i-th CPU of LIST (0-3,8) "
+               "and replicate the ruleset per NUMA node\n"
+               "  --numa=auto      derive the pin list from sysfs topology, "
+               "interleaved across nodes\n"
+               "  --max-packets=N  stop after N packets (endless/live sources)\n"
                "  --algo=NAME      matcher engine (default v-patch); available on "
                "this CPU:\n                   %s\n"
                "  --prefilter=MODE approximate q-gram prefilter ahead of the exact "
@@ -387,6 +476,21 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--swap-after=", 13) == 0) {
       opt.swap_after =
           static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--source=", 9) == 0) {
+      opt.source_spec = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--max-packets=", 14) == 0) {
+      opt.max_packets =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--cpu-list=", 11) == 0) {
+      const auto cpus = capture::parse_cpu_list(argv[i] + 11);
+      if (!cpus || cpus->empty()) {
+        std::fprintf(stderr, "bad --cpu-list=%s; expected e.g. 0-3,8\n",
+                     argv[i] + 11);
+        return 2;
+      }
+      opt.worker_cpus = *cpus;
+    } else if (std::strcmp(argv[i], "--numa=auto") == 0) {
+      opt.worker_cpus = capture::CpuTopology::detect().interleaved_cpus();
     } else if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
       opt.metrics_port = static_cast<int>(std::strtol(argv[i] + 15, nullptr, 10));
       if (opt.metrics_port < 0 || opt.metrics_port > 65535) {
@@ -482,18 +586,28 @@ int main(int argc, char** argv) {
     return rc;
   };
   if (demo) return finish(run_demo(opt));
-  if (positional.empty()) {
+  if (opt.source_spec.empty() && positional.empty()) {
     print_usage(argv[0]);
     return 2;
   }
-  const auto pcap = util::read_file(positional[0]);
+  // Positional file and --source are the same thing: a bare path opens as a
+  // pcap source, so the historical `pcap_sensor capture.pcap` form routes
+  // through the exact code the live modes use.
+  const std::string spec =
+      !opt.source_spec.empty() ? opt.source_spec : std::string(positional[0]);
+  const std::size_t rules_arg = opt.source_spec.empty() ? 1 : 0;
   pattern::PatternSet rules;
-  if (positional.size() >= 2) {
-    rules = pattern::patterns_from_rules(util::to_string(util::read_file(positional[1])));
+  if (positional.size() > rules_arg) {
+    rules = pattern::patterns_from_rules(
+        util::to_string(util::read_file(positional[rules_arg])));
   } else {
     rules = pattern::generate_ruleset(pattern::s1_config(1));
   }
   std::printf("%zu patterns\n", rules.size());
-  return finish(opt.workers > 0 ? run_sharded(pcap, rules, opt)
-                                : run(pcap, rules, opt));
+  try {
+    return finish(dispatch(spec, rules, opt));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return finish(1);
+  }
 }

@@ -1,0 +1,197 @@
+#include "capture/afpacket_source.hpp"
+
+#include <stdexcept>
+
+#if VPM_WITH_AFPACKET
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <linux/if_ether.h>
+#include <linux/if_packet.h>
+#include <net/if.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "capture/ring_walker.hpp"
+#include "capture/tpacket.hpp"
+
+namespace vpm::capture {
+
+// Our locally-declared ring ABI (capture/tpacket.hpp, used by the walker and
+// the CI mock) must be bit-identical to the kernel's.  Checked here — the
+// one TU that sees both — so drift fails this flagged build loudly.
+static_assert(sizeof(tpacket::FrameHeader) == sizeof(struct tpacket3_hdr));
+static_assert(offsetof(tpacket::FrameHeader, tp_next_offset) ==
+              offsetof(struct tpacket3_hdr, tp_next_offset));
+static_assert(offsetof(tpacket::FrameHeader, tp_snaplen) ==
+              offsetof(struct tpacket3_hdr, tp_snaplen));
+static_assert(offsetof(tpacket::FrameHeader, tp_status) ==
+              offsetof(struct tpacket3_hdr, tp_status));
+static_assert(offsetof(tpacket::FrameHeader, tp_mac) ==
+              offsetof(struct tpacket3_hdr, tp_mac));
+static_assert(sizeof(tpacket::BlockDesc) == sizeof(struct tpacket_block_desc));
+static_assert(offsetof(tpacket::BlockDesc, hdr) ==
+              offsetof(struct tpacket_block_desc, hdr));
+static_assert(sizeof(tpacket::BlockHeaderV1) == sizeof(struct tpacket_hdr_v1));
+static_assert(offsetof(tpacket::BlockHeaderV1, offset_to_first_pkt) ==
+              offsetof(struct tpacket_hdr_v1, offset_to_first_pkt));
+static_assert(tpacket::kStatusUser == TP_STATUS_USER);
+static_assert(tpacket::kStatusKernel == TP_STATUS_KERNEL);
+static_assert(tpacket::kFrameAlign == TPACKET_ALIGNMENT);
+
+struct AfPacketSource::Impl {
+  int fd = -1;
+  std::uint8_t* map = static_cast<std::uint8_t*>(MAP_FAILED);
+  std::size_t map_len = 0;
+  std::unique_ptr<RingWalker> walker;
+  AfPacketConfig cfg;
+  // Accumulated PACKET_STATISTICS (the getsockopt is reset-on-read).
+  std::uint64_t kernel_drops = 0;
+  std::uint64_t freezes = 0;
+
+  ~Impl() {
+    if (map != MAP_FAILED) munmap(map, map_len);
+    if (fd >= 0) close(fd);
+  }
+
+  void harvest_kernel_stats() {
+    struct tpacket_stats_v3 st {};
+    socklen_t len = sizeof(st);
+    if (getsockopt(fd, SOL_PACKET, PACKET_STATISTICS, &st, &len) == 0) {
+      kernel_drops += st.tp_drops;
+      freezes += st.tp_freeze_q_cnt;
+    }
+  }
+};
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("afpacket: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+AfPacketSource::AfPacketSource(AfPacketConfig cfg) {
+  auto impl = std::make_unique<Impl>();
+  impl->cfg = cfg;
+
+  impl->fd = ::socket(AF_PACKET, SOCK_RAW, htons(ETH_P_ALL));
+  if (impl->fd < 0) throw_errno("socket(AF_PACKET) (need CAP_NET_RAW)");
+
+  const int version = TPACKET_V3;
+  if (setsockopt(impl->fd, SOL_PACKET, PACKET_VERSION, &version, sizeof(version)) != 0) {
+    throw_errno("PACKET_VERSION=TPACKET_V3");
+  }
+
+  struct tpacket_req3 req {};
+  req.tp_block_size = static_cast<unsigned>(cfg.block_size);
+  req.tp_block_nr = static_cast<unsigned>(cfg.block_count);
+  req.tp_frame_size = static_cast<unsigned>(cfg.frame_size);
+  req.tp_frame_nr = static_cast<unsigned>(cfg.block_size / cfg.frame_size *
+                                          cfg.block_count);
+  req.tp_retire_blk_tov = cfg.retire_timeout_ms;
+  req.tp_feature_req_word = 0;
+  if (setsockopt(impl->fd, SOL_PACKET, PACKET_RX_RING, &req, sizeof(req)) != 0) {
+    throw_errno("PACKET_RX_RING");
+  }
+
+  impl->map_len = cfg.block_size * cfg.block_count;
+  impl->map = static_cast<std::uint8_t*>(mmap(nullptr, impl->map_len,
+                                              PROT_READ | PROT_WRITE,
+                                              MAP_SHARED | MAP_LOCKED, impl->fd, 0));
+  if (impl->map == MAP_FAILED) {
+    // Retry without MAP_LOCKED: RLIMIT_MEMLOCK is commonly tiny.
+    impl->map = static_cast<std::uint8_t*>(
+        mmap(nullptr, impl->map_len, PROT_READ | PROT_WRITE, MAP_SHARED, impl->fd, 0));
+  }
+  if (impl->map == MAP_FAILED) throw_errno("mmap ring");
+
+  struct sockaddr_ll addr {};
+  addr.sll_family = AF_PACKET;
+  addr.sll_protocol = htons(ETH_P_ALL);
+  addr.sll_ifindex = static_cast<int>(if_nametoindex(cfg.interface.c_str()));
+  if (addr.sll_ifindex == 0) {
+    throw std::runtime_error("afpacket: unknown interface: " + cfg.interface);
+  }
+  if (bind(impl->fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(" + cfg.interface + ")");
+  }
+
+  if (cfg.fanout_group != 0) {
+    // FANOUT_HASH: the kernel's flow hash is direction-symmetric, so both
+    // directions of a connection reach the same ring — the property the
+    // pipeline's conn_hash sharding assumes of its input.
+    const int fanout = cfg.fanout_group | (PACKET_FANOUT_HASH << 16);
+    if (setsockopt(impl->fd, SOL_PACKET, PACKET_FANOUT, &fanout, sizeof(fanout)) != 0) {
+      throw_errno("PACKET_FANOUT");
+    }
+  }
+
+  impl->walker =
+      std::make_unique<RingWalker>(impl->map, cfg.block_size, cfg.block_count);
+  impl_ = impl.release();
+}
+
+AfPacketSource::~AfPacketSource() { delete impl_; }
+
+std::size_t AfPacketSource::poll(std::vector<net::Packet>& out,
+                                 std::size_t max_packets) {
+  const std::size_t n = impl_->walker->poll(out, max_packets);
+  if (n == 0) {
+    // No block ready: sleep on the fd until the kernel retires one (or the
+    // retire timeout flushes a partial block).
+    struct pollfd pfd {};
+    pfd.fd = impl_->fd;
+    pfd.events = POLLIN | POLLERR;
+    ::poll(&pfd, 1, static_cast<int>(impl_->cfg.retire_timeout_ms));
+    return impl_->walker->poll(out, max_packets);
+  }
+  return n;
+}
+
+CaptureStats AfPacketSource::stats() const {
+  impl_->harvest_kernel_stats();
+  const RingWalkStats& ws = impl_->walker->stats();
+  CaptureStats s;
+  s.packets = ws.frames;
+  s.bytes = ws.bytes;
+  s.truncated = ws.truncated;
+  s.skipped = ws.skipped;
+  s.kernel_drops = impl_->kernel_drops;
+  s.ring_full = impl_->freezes;
+  s.ring_occupancy = impl_->walker->occupancy();
+  return s;
+}
+
+bool AfPacketSource::supported() { return true; }
+
+}  // namespace vpm::capture
+
+#else  // !VPM_WITH_AFPACKET
+
+namespace vpm::capture {
+
+AfPacketSource::AfPacketSource(AfPacketConfig cfg) {
+  throw std::runtime_error(
+      "afpacket source '" + cfg.interface +
+      "': this build has no AF_PACKET support (configure with "
+      "-DVPM_WITH_AFPACKET=ON on Linux)");
+}
+
+AfPacketSource::~AfPacketSource() = default;
+
+std::size_t AfPacketSource::poll(std::vector<net::Packet>&, std::size_t) { return 0; }
+
+CaptureStats AfPacketSource::stats() const { return {}; }
+
+bool AfPacketSource::supported() { return false; }
+
+}  // namespace vpm::capture
+
+#endif  // VPM_WITH_AFPACKET

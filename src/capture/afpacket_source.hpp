@@ -1,0 +1,57 @@
+// Live capture from a network interface via AF_PACKET TPACKET_V3 mmap RX
+// rings.  The kernel DMA-fills ring blocks; RingWalker (shared with the mock
+// ring) consumes them — zero copies between kernel hand-off and frame
+// decode.  PACKET_FANOUT_HASH spreads flows across the sockets of a fanout
+// group (one AfPacketSource per capture thread, same group id), keyed so
+// both directions of a connection land on one socket — matching the
+// pipeline's conn_hash sharding.
+//
+// The real implementation is compiled under -DVPM_WITH_AFPACKET=1 (CMake
+// option VPM_WITH_AFPACKET; needs Linux + CAP_NET_RAW at runtime).  Without
+// it this header still compiles everywhere and the constructor throws — so
+// callers (pcap_sensor --source=afpacket:...) fail with a clear message
+// instead of an ifdef maze.
+#pragma once
+
+#include <string>
+
+#include "capture/source.hpp"
+
+namespace vpm::capture {
+
+struct AfPacketConfig {
+  std::string interface;            // e.g. "eth0"
+  std::size_t block_size = 1 << 20;  // bytes per ring block (page multiple)
+  std::size_t block_count = 64;      // ring blocks (64 MiB ring by default)
+  std::size_t frame_size = 2048;     // tp_frame_size hint
+  unsigned retire_timeout_ms = 60;   // retire_blk_tov: max block latency
+  // PACKET_FANOUT group id; 0 = no fanout (single-socket capture).  All
+  // sockets of one group must use the same id; mode is FANOUT_HASH.
+  std::uint16_t fanout_group = 0;
+};
+
+class AfPacketSource final : public CaptureSource {
+ public:
+  // Opens the socket, maps the ring, binds, joins the fanout group.  Throws
+  // std::runtime_error on any failure — including "built without
+  // VPM_WITH_AFPACKET".
+  explicit AfPacketSource(AfPacketConfig cfg);
+  ~AfPacketSource() override;
+
+  AfPacketSource(const AfPacketSource&) = delete;
+  AfPacketSource& operator=(const AfPacketSource&) = delete;
+
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max_packets) override;
+  bool exhausted() const override { return false; }  // live source
+  std::string_view kind() const override { return "afpacket"; }
+  CaptureStats stats() const override;
+
+  // True when this build carries the real implementation.
+  static bool supported();
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace vpm::capture

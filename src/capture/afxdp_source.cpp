@@ -1,0 +1,28 @@
+#include "capture/afxdp_source.hpp"
+
+#include <stdexcept>
+
+#if VPM_WITH_AFXDP
+// Compile-tested only: pull in the headers the real XSK implementation will
+// need so the flagged CI job catches toolchain bit-rot early.
+#include <linux/if_xdp.h>
+#include <sys/socket.h>
+#endif
+
+namespace vpm::capture {
+
+AfXdpSource::AfXdpSource(AfXdpConfig cfg) {
+#if VPM_WITH_AFXDP
+  throw std::runtime_error("afxdp source '" + cfg.interface +
+                           "': AF_XDP capture is not implemented yet "
+                           "(VPM_WITH_AFXDP is compile-tested only)");
+#else
+  throw std::runtime_error("afxdp source '" + cfg.interface +
+                           "': this build has no AF_XDP support (configure "
+                           "with -DVPM_WITH_AFXDP=ON)");
+#endif
+}
+
+std::size_t AfXdpSource::poll(std::vector<net::Packet>&, std::size_t) { return 0; }
+
+}  // namespace vpm::capture

@@ -1,0 +1,35 @@
+// AF_XDP placeholder.  The zero-copy XSK path (UMEM + fill/completion rings
+// + an XDP redirect program) is a larger dependency surface than AF_PACKET —
+// libxdp or hand-rolled ring management plus a loaded BPF object.  This stub
+// reserves the source kind and the build flag (VPM_WITH_AFXDP, compile-
+// tested only) so the sensor's --source grammar and the CMake wiring are
+// already in place when the real implementation lands; the constructor
+// always throws.
+#pragma once
+
+#include <string>
+
+#include "capture/source.hpp"
+
+namespace vpm::capture {
+
+struct AfXdpConfig {
+  std::string interface;
+  std::uint32_t queue_id = 0;
+};
+
+class AfXdpSource final : public CaptureSource {
+ public:
+  // Always throws std::runtime_error ("not implemented" under
+  // VPM_WITH_AFXDP, "built without" otherwise).
+  explicit AfXdpSource(AfXdpConfig cfg);
+
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max_packets) override;
+  bool exhausted() const override { return false; }
+  std::string_view kind() const override { return "afxdp"; }
+  CaptureStats stats() const override { return {}; }
+
+  static bool supported() { return false; }
+};
+
+}  // namespace vpm::capture

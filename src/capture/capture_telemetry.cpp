@@ -1,0 +1,43 @@
+#include "capture/capture_telemetry.hpp"
+
+namespace vpm::capture {
+
+CaptureTelemetry::CaptureTelemetry(telemetry::MetricsRegistry& registry,
+                                   std::string_view kind) {
+  const telemetry::Labels labels{{"source", std::string(kind)}};
+  packets_ = &registry.counter("vpm_capture_packets_total",
+                               "Decoded packets delivered by the capture source",
+                               labels);
+  bytes_ = &registry.counter("vpm_capture_bytes_total",
+                             "Payload bytes delivered by the capture source",
+                             labels);
+  kernel_drops_ = &registry.counter(
+      "vpm_capture_kernel_drops_total",
+      "Frames dropped by the kernel before the ring (PACKET_STATISTICS tp_drops)",
+      labels);
+  ring_full_ = &registry.counter(
+      "vpm_capture_ring_full_total",
+      "Ring congestion episodes (TPACKET_V3 freeze_q_cnt)", labels);
+  truncated_ = &registry.counter("vpm_capture_truncated_total",
+                                 "Frames clamped to the capture snaplen", labels);
+  skipped_ = &registry.counter("vpm_capture_skipped_total",
+                               "Undecodable frames or records skipped", labels);
+  ring_occupancy_ = &registry.gauge(
+      "vpm_capture_ring_occupancy_permille",
+      "Ring blocks awaiting the walker, in permille of the ring (0 for "
+      "non-ring sources)",
+      labels);
+}
+
+void CaptureTelemetry::publish(const CaptureSource& source) {
+  const CaptureStats s = source.stats();
+  packets_->set(s.packets);
+  bytes_->set(s.bytes);
+  kernel_drops_->set(s.kernel_drops);
+  ring_full_->set(s.ring_full);
+  truncated_->set(s.truncated);
+  skipped_->set(s.skipped);
+  ring_occupancy_->set(static_cast<std::int64_t>(s.ring_occupancy * 1000.0));
+}
+
+}  // namespace vpm::capture

@@ -1,0 +1,33 @@
+// Capture-stage metrics: one vpm_capture_* family per CaptureStats counter,
+// labelled {source=<kind>}, plus the ring-occupancy gauge.  Handles are
+// registered once at attach; publish() is a handful of relaxed stores of
+// the source's monotonic totals (Counter::set publication, same scheme as
+// the worker counters in pipeline_metrics).
+#pragma once
+
+#include "capture/source.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vpm::capture {
+
+class CaptureTelemetry {
+ public:
+  // Registers the vpm_capture_* series for `kind` ("pcap", "trace",
+  // "afpacket") in `registry`.  The registry must outlive this object.
+  CaptureTelemetry(telemetry::MetricsRegistry& registry, std::string_view kind);
+
+  // Snapshots the source's stats into the registered series.  Call from the
+  // thread that polls the source (single-writer Counter::set contract).
+  void publish(const CaptureSource& source);
+
+ private:
+  telemetry::Counter* packets_;
+  telemetry::Counter* bytes_;
+  telemetry::Counter* kernel_drops_;
+  telemetry::Counter* ring_full_;
+  telemetry::Counter* truncated_;
+  telemetry::Counter* skipped_;
+  telemetry::Gauge* ring_occupancy_;
+};
+
+}  // namespace vpm::capture

@@ -1,0 +1,107 @@
+#include "capture/mock_ring.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/frame.hpp"
+
+namespace vpm::capture {
+
+MockRing::MockRing(std::size_t block_size, std::size_t block_count)
+    : ring_(block_size * block_count, 0),
+      block_size_(block_size),
+      block_count_(block_count) {
+  if (block_count == 0 || block_size < sizeof(tpacket::BlockDesc) + 64) {
+    throw std::invalid_argument("MockRing: implausible ring geometry");
+  }
+}
+
+bool MockRing::kernel_owns(std::size_t i) const {
+  return (std::atomic_ref<const std::uint32_t>(block(i)->hdr.block_status)
+              .load(std::memory_order_acquire) &
+          tpacket::kStatusUser) == 0;
+}
+
+std::size_t MockRing::produce_block(std::span<const net::Packet> packets,
+                                    std::uint32_t snaplen) {
+  if (packets.empty()) return 0;
+  if (!kernel_owns(head_)) {
+    // Walker still holds the next block: the ring is full.  The kernel
+    // counts every undeliverable frame in tp_drops and bumps freeze_q_cnt
+    // once per congestion episode.
+    drops_ += packets.size();
+    if (!frozen_) {
+      ++freezes_;
+      frozen_ = true;
+    }
+    return 0;
+  }
+  frozen_ = false;
+
+  tpacket::BlockDesc* bd = block(head_);
+  std::uint8_t* base = reinterpret_cast<std::uint8_t*>(bd);
+  // Scratch encode buffer reused per frame.
+  util::Bytes frame_bytes;
+
+  const std::size_t first_off = tpacket::align_frame(sizeof(tpacket::BlockDesc));
+  std::size_t off = first_off;
+  std::uint32_t count = 0;
+  tpacket::FrameHeader* prev = nullptr;
+
+  for (const net::Packet& p : packets) {
+    frame_bytes.clear();
+    net::encode_ethernet_frame(frame_bytes, p);
+    const std::uint32_t wire_len = static_cast<std::uint32_t>(frame_bytes.size());
+    const std::uint32_t cap_len =
+        snaplen != 0 && snaplen < wire_len ? snaplen : wire_len;
+    const std::size_t need =
+        tpacket::align_frame(sizeof(tpacket::FrameHeader) + cap_len);
+    if (off + need > block_size_) break;  // block full; rest goes to the next
+
+    auto* fh = reinterpret_cast<tpacket::FrameHeader*>(base + off);
+    std::memset(fh, 0, sizeof(*fh));
+    fh->tp_sec = static_cast<std::uint32_t>(p.timestamp_us / 1000000);
+    fh->tp_nsec = static_cast<std::uint32_t>((p.timestamp_us % 1000000) * 1000);
+    fh->tp_snaplen = cap_len;
+    fh->tp_len = wire_len;
+    fh->tp_status = tpacket::kStatusUser;
+    fh->tp_mac = static_cast<std::uint16_t>(sizeof(tpacket::FrameHeader));
+    fh->tp_net = fh->tp_mac + net::kEthHeaderLen;
+    std::memcpy(base + off + fh->tp_mac, frame_bytes.data(), cap_len);
+
+    if (prev != nullptr) {
+      prev->tp_next_offset = static_cast<std::uint32_t>((base + off) -
+                                                        reinterpret_cast<std::uint8_t*>(prev));
+    }
+    prev = fh;
+    off += need;
+    ++count;
+  }
+  if (count == 0) {
+    // Nothing fit (frame larger than a block): drop rather than wedge.
+    drops_ += packets.size();
+    return 0;
+  }
+  // Last frame terminates the chain, kernel-style.
+  prev->tp_next_offset = 0;
+
+  bd->version = 1;
+  bd->offset_to_priv = 0;
+  bd->hdr.num_pkts = count;
+  bd->hdr.offset_to_first_pkt = static_cast<std::uint32_t>(first_off);
+  bd->hdr.blk_len = static_cast<std::uint32_t>(off);
+  bd->hdr.seq_num = ++seq_;
+  bd->hdr.ts_first_pkt = {static_cast<std::uint32_t>(packets[0].timestamp_us / 1000000),
+                          0};
+  bd->hdr.ts_last_pkt = {
+      static_cast<std::uint32_t>(packets[count - 1].timestamp_us / 1000000), 0};
+  // Publish: everything written above must be visible before the status
+  // flip — the same release edge the kernel provides.
+  std::atomic_ref<std::uint32_t>(bd->hdr.block_status)
+      .store(tpacket::kStatusUser, std::memory_order_release);
+  head_ = (head_ + 1) % block_count_;
+  return count;
+}
+
+}  // namespace vpm::capture

@@ -1,0 +1,66 @@
+// In-process TPACKET_V3 "kernel": builds real ring-block layouts (the same
+// BlockDesc/FrameHeader ABI the kernel writes) from synthetic packets, so
+// RingWalker's frame walk, mid-block resume, block release, truncation
+// clamp, and drop accounting all run deterministically in CI without root,
+// a NIC, or even Linux.
+//
+// It plays the kernel's side of the protocol: fill the next block only when
+// the walker has released it (block_status back to TP_STATUS_KERNEL);
+// otherwise count the offered frames as drops (tp_drops in
+// PACKET_STATISTICS terms) and, once per congestion episode, a queue freeze
+// (freeze_q_cnt).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "capture/tpacket.hpp"
+#include "net/packet.hpp"
+
+namespace vpm::capture {
+
+class MockRing {
+ public:
+  MockRing(std::size_t block_size, std::size_t block_count);
+
+  std::uint8_t* data() { return ring_.data(); }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t block_count() const { return block_count_; }
+
+  // Frames as many of `packets` as fit into the next kernel-owned block
+  // (encoded via net::encode_ethernet_frame, snaplen-clamped to `snaplen`
+  // when nonzero) and publishes the block to the walker.  Returns the number
+  // of packets framed: short when the block filled up (offer the rest to the
+  // next produce_block call), 0 when the walker still owns the next block —
+  // those packets are DROPPED and counted, as the kernel would.
+  std::size_t produce_block(std::span<const net::Packet> packets,
+                            std::uint32_t snaplen = 0);
+
+  // PACKET_STATISTICS analogue (cumulative, not reset-on-read).
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t freezes() const { return freezes_; }
+
+  // True when block i is kernel-owned (released or never filled).
+  bool kernel_owns(std::size_t i) const;
+
+ private:
+  tpacket::BlockDesc* block(std::size_t i) {
+    return reinterpret_cast<tpacket::BlockDesc*>(ring_.data() + i * block_size_);
+  }
+  const tpacket::BlockDesc* block(std::size_t i) const {
+    return reinterpret_cast<const tpacket::BlockDesc*>(ring_.data() + i * block_size_);
+  }
+
+  std::vector<std::uint8_t> ring_;  // block_count_ * block_size_, zeroed
+  std::size_t block_size_;
+  std::size_t block_count_;
+  std::size_t head_ = 0;  // next block to fill
+  std::uint64_t seq_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t freezes_ = 0;
+  bool frozen_ = false;  // inside a congestion episode (dedups freeze count)
+};
+
+}  // namespace vpm::capture

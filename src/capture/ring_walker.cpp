@@ -1,0 +1,98 @@
+#include "capture/ring_walker.hpp"
+
+#include <atomic>
+
+#include "net/frame.hpp"
+
+namespace vpm::capture {
+
+namespace {
+
+// The block_status handoff is the one cross-thread edge of the ring
+// protocol: the kernel's status write releases the filled block, our
+// acquire load pairs with it (and vice versa on release back).  atomic_ref
+// keeps the mmap'd field a plain uint32 in the struct layout.
+std::uint32_t load_status(tpacket::BlockDesc* bd) {
+  return std::atomic_ref<std::uint32_t>(bd->hdr.block_status)
+      .load(std::memory_order_acquire);
+}
+
+void store_status(tpacket::BlockDesc* bd, std::uint32_t status) {
+  std::atomic_ref<std::uint32_t>(bd->hdr.block_status)
+      .store(status, std::memory_order_release);
+}
+
+}  // namespace
+
+RingWalker::RingWalker(std::uint8_t* ring, std::size_t block_size,
+                       std::size_t block_count)
+    : ring_(ring), block_size_(block_size), block_count_(block_count) {}
+
+std::size_t RingWalker::poll(std::vector<net::Packet>& out, std::size_t max_packets) {
+  std::size_t delivered = 0;
+  while (delivered < max_packets) {
+    tpacket::BlockDesc* bd = block(current_);
+    if (frames_left_ == 0) {
+      // Start of a block: only consume once the kernel has handed it over.
+      if ((load_status(bd) & tpacket::kStatusUser) == 0) break;
+      frames_left_ = bd->hdr.num_pkts;
+      frame_offset_ = bd->hdr.offset_to_first_pkt;
+      if (frames_left_ == 0) {
+        // Timeout-retired empty block (retire_blk_tov): release and move on.
+        store_status(bd, tpacket::kStatusKernel);
+        ++stats_.blocks;
+        current_ = (current_ + 1) % block_count_;
+        continue;
+      }
+    }
+    std::uint8_t* base = reinterpret_cast<std::uint8_t*>(bd);
+    while (frames_left_ > 0 && delivered < max_packets) {
+      auto* fh = reinterpret_cast<tpacket::FrameHeader*>(base + frame_offset_);
+      if ((fh->tp_status & tpacket::kStatusLosing) != 0) ++stats_.losing;
+      net::Packet pkt;
+      const std::uint8_t* frame =
+          reinterpret_cast<const std::uint8_t*>(fh) + fh->tp_mac;
+      // Snaplen clamp is routine here (clamp_truncated): a frame cut by the
+      // capture length still yields its payload prefix for scanning.
+      const net::FrameDecode dec =
+          net::decode_ethernet_frame(frame, fh->tp_snaplen,
+                                     /*clamp_truncated=*/true, pkt);
+      if (dec == net::FrameDecode::malformed) {
+        ++stats_.skipped;
+      } else {
+        if (dec == net::FrameDecode::truncated || fh->tp_snaplen < fh->tp_len) {
+          ++stats_.truncated;
+        }
+        pkt.timestamp_us =
+            static_cast<std::uint64_t>(fh->tp_sec) * 1000000 + fh->tp_nsec / 1000;
+        stats_.bytes += pkt.payload.size();
+        ++stats_.frames;
+        out.push_back(std::move(pkt));
+        ++delivered;
+      }
+      --frames_left_;
+      frame_offset_ += fh->tp_next_offset;
+    }
+    if (frames_left_ == 0) {
+      // Block fully walked: hand it back to the kernel.
+      store_status(bd, tpacket::kStatusKernel);
+      ++stats_.blocks;
+      current_ = (current_ + 1) % block_count_;
+    }
+  }
+  return delivered;
+}
+
+double RingWalker::occupancy() const {
+  std::size_t user_owned = 0;
+  for (std::size_t i = 0; i < block_count_; ++i) {
+    if ((load_status(block(i)) & tpacket::kStatusUser) != 0) ++user_owned;
+  }
+  // A block mid-walk has already been counted via its USER bit (we clear it
+  // only on release).
+  return block_count_ == 0
+             ? 0.0
+             : static_cast<double>(user_owned) / static_cast<double>(block_count_);
+}
+
+}  // namespace vpm::capture

@@ -1,0 +1,69 @@
+// TPACKET_V3 block walker: the user-space half of the AF_PACKET mmap ring
+// protocol, factored out of AfPacketSource so the identical code runs in CI
+// against the in-process MockRing (no root, no NIC).
+//
+// Protocol: the ring is block_count fixed-size blocks.  The kernel fills a
+// block with frames, stamps num_pkts/offset_to_first_pkt, and flips
+// block_status to TP_STATUS_USER (release); the walker consumes blocks IN
+// ORDER (the kernel retires them in order), walks the frame chain via
+// tp_next_offset, and flips the block back to TP_STATUS_KERNEL (release)
+// when done — holding a block too long is what makes the kernel drop
+// (tp_drops) and freeze (freeze_q_cnt).  A poll() bounded by max_packets may
+// stop mid-block; the walker resumes exactly where it left off and releases
+// the block only after its last frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "capture/tpacket.hpp"
+#include "net/packet.hpp"
+
+namespace vpm::capture {
+
+struct RingWalkStats {
+  std::uint64_t frames = 0;     // decoded frames delivered
+  std::uint64_t bytes = 0;      // payload bytes delivered
+  std::uint64_t truncated = 0;  // frames with tp_snaplen < tp_len (payload
+                                // clamped to the captured prefix)
+  std::uint64_t skipped = 0;    // undecodable frames (non-IPv4, mangled)
+  std::uint64_t blocks = 0;     // blocks consumed and released
+  std::uint64_t losing = 0;     // frames flagged TP_STATUS_LOSING
+};
+
+class RingWalker {
+ public:
+  // `ring` is block_count contiguous blocks of block_size bytes (the mmap
+  // region, or the mock's buffer).  The walker does not own it.
+  RingWalker(std::uint8_t* ring, std::size_t block_size, std::size_t block_count);
+
+  // Consumes ready blocks, appending up to max_packets decoded packets to
+  // `out`.  Returns the number appended; 0 = no block ready (caller decides
+  // whether to ::poll the fd or spin).
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max_packets);
+
+  // Fraction of blocks currently user-owned (ready or being walked) — the
+  // ring-occupancy gauge; near 1.0 means the walker is the bottleneck and
+  // kernel drops are imminent.
+  double occupancy() const;
+
+  const RingWalkStats& stats() const { return stats_; }
+
+ private:
+  tpacket::BlockDesc* block(std::size_t i) const {
+    return reinterpret_cast<tpacket::BlockDesc*>(ring_ + i * block_size_);
+  }
+
+  std::uint8_t* ring_;
+  std::size_t block_size_;
+  std::size_t block_count_;
+  std::size_t current_ = 0;  // next block to consume (kernel retires in order)
+  // Mid-block resume state: frames remaining and the current frame's offset
+  // within the block; frames_left_ == 0 means no block is being walked.
+  std::uint32_t frames_left_ = 0;
+  std::uint32_t frame_offset_ = 0;
+  RingWalkStats stats_;
+};
+
+}  // namespace vpm::capture

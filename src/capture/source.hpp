@@ -1,0 +1,71 @@
+// The ingestion abstraction: every way packets enter the pipeline —
+// pcap-file replay, generated traces, AF_PACKET rings — is a CaptureSource
+// the sensor pulls decoded-Packet batches from.  One interface means the
+// submit loop, the capture telemetry, and the differential tests are
+// identical across sources; a source differs only in where bytes come from
+// and which loss counters can move.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace vpm::capture {
+
+// Per-source counters, all monotonic except ring_occupancy.  Exported as
+// vpm_capture_*_total by CaptureTelemetry and printed by
+// describe_capture_stats.
+struct CaptureStats {
+  std::uint64_t packets = 0;       // decoded packets delivered to the caller
+  std::uint64_t bytes = 0;         // payload bytes delivered
+  std::uint64_t kernel_drops = 0;  // frames the kernel dropped before the ring
+                                   // (PACKET_STATISTICS tp_drops; mock-ring
+                                   // producer overruns)
+  std::uint64_t ring_full = 0;     // ring-congestion episodes (TPACKET_V3
+                                   // freeze_q_cnt; mock block-unavailable)
+  std::uint64_t truncated = 0;     // frames clamped to the capture snaplen
+  std::uint64_t skipped = 0;       // undecodable frames/records
+  double ring_occupancy = 0.0;     // gauge 0..1: ring blocks awaiting the
+                                   // walker (0 for non-ring sources)
+};
+
+class CaptureSource {
+ public:
+  virtual ~CaptureSource() = default;
+
+  // Appends up to `max_packets` decoded packets to `out` (existing contents
+  // untouched).  Returns the number appended; 0 means nothing available
+  // right now — poll again unless exhausted().  Non-blocking for ring
+  // sources (the sensor loop owns the wait policy).
+  virtual std::size_t poll(std::vector<net::Packet>& out, std::size_t max_packets) = 0;
+
+  // True once the source can never produce again (end of file / trace
+  // epochs).  Live sources never exhaust.
+  virtual bool exhausted() const = 0;
+
+  // Stable source kind ("pcap", "trace", "afpacket") — the telemetry label.
+  virtual std::string_view kind() const = 0;
+
+  virtual CaptureStats stats() const = 0;
+};
+
+// One human line of a source's counters (the describe_pipeline_stats
+// companion): "capture[pcap]: packets=... bytes=... kernel_drops=0 ...".
+std::string describe_capture_stats(const CaptureSource& source);
+
+// Parses a --source spec and opens it:
+//   pcap:FILE                              replay FILE (bare paths work too)
+//   trace:PROFILE[,key=N...]               generated traffic; PROFILE is
+//                                          mixed|evasion; keys: flows, mb,
+//                                          seed, epochs (0 = endless)
+//   afpacket:IFACE[,blocks=N,block_kb=N,fanout=ID]
+// Throws std::invalid_argument on a malformed spec, std::runtime_error when
+// the source cannot be opened (missing file; afpacket without
+// VPM_WITH_AFPACKET or without CAP_NET_RAW).
+std::unique_ptr<CaptureSource> open_source(std::string_view spec);
+
+}  // namespace vpm::capture

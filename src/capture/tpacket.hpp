@@ -1,0 +1,73 @@
+// TPACKET_V3 ring ABI, declared locally so the frame-walk logic and the mock
+// kernel ring compile (and run in CI) on any host, with or without
+// <linux/if_packet.h>.  The real AF_PACKET TU (afpacket_source.cpp under
+// VPM_WITH_AFPACKET) static_asserts these layouts against the kernel
+// headers, so drift fails the flagged build instead of corrupting a ring.
+//
+// Layout reference: struct tpacket_block_desc / tpacket_hdr_v1 /
+// tpacket3_hdr in the kernel's if_packet.h.  All fields are host-endian
+// (the kernel fills them; no byte swapping on either side).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vpm::capture::tpacket {
+
+// Block/frame ownership bits (tp_status / block_status).
+inline constexpr std::uint32_t kStatusKernel = 0;        // TP_STATUS_KERNEL
+inline constexpr std::uint32_t kStatusUser = 1u << 0;    // TP_STATUS_USER
+inline constexpr std::uint32_t kStatusLosing = 1u << 2;  // TP_STATUS_LOSING:
+// set by the kernel on frames delivered while the socket was dropping —
+// the walker's cue to re-read PACKET_STATISTICS promptly.
+
+struct BdTimestamp {  // struct tpacket_bd_ts
+  std::uint32_t ts_sec;
+  std::uint32_t ts_usec_or_nsec;
+};
+
+struct BlockHeaderV1 {  // struct tpacket_hdr_v1
+  std::uint32_t block_status;        // kStatusKernel <-> kStatusUser handoff
+  std::uint32_t num_pkts;
+  std::uint32_t offset_to_first_pkt;  // from the block descriptor's start
+  std::uint32_t blk_len;
+  std::uint64_t seq_num;
+  BdTimestamp ts_first_pkt;
+  BdTimestamp ts_last_pkt;
+};
+
+struct BlockDesc {  // struct tpacket_block_desc
+  std::uint32_t version;  // always 1 (TPACKET_V3's bh1)
+  std::uint32_t offset_to_priv;
+  BlockHeaderV1 hdr;
+};
+
+struct FrameHeader {  // struct tpacket3_hdr
+  std::uint32_t tp_next_offset;  // to the next frame in the block; 0 = last
+  std::uint32_t tp_sec;
+  std::uint32_t tp_nsec;
+  std::uint32_t tp_snaplen;  // captured bytes (<= tp_len when snap-cut)
+  std::uint32_t tp_len;      // on-wire bytes
+  std::uint32_t tp_status;
+  std::uint16_t tp_mac;  // frame start, offset from this header
+  std::uint16_t tp_net;
+  // union tpacket_hdr_variant1 hv1
+  std::uint32_t hv1_rxhash;
+  std::uint32_t hv1_vlan_tci;
+  std::uint16_t hv1_vlan_tpid;
+  std::uint16_t hv1_padding;
+  std::uint8_t tp_padding[8];
+};
+
+static_assert(sizeof(BlockHeaderV1) == 40, "tpacket_hdr_v1 ABI drift");
+static_assert(sizeof(BlockDesc) == 48, "tpacket_block_desc ABI drift");
+static_assert(sizeof(FrameHeader) == 48, "tpacket3_hdr ABI drift");
+static_assert(offsetof(FrameHeader, tp_mac) == 24, "tpacket3_hdr ABI drift");
+
+// The kernel aligns each frame header to TPACKET_ALIGNMENT (16).
+inline constexpr std::size_t kFrameAlign = 16;
+inline constexpr std::size_t align_frame(std::size_t n) {
+  return (n + kFrameAlign - 1) & ~(kFrameAlign - 1);
+}
+
+}  // namespace vpm::capture::tpacket

@@ -1,0 +1,60 @@
+#include "capture/trace_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vpm::capture {
+
+TraceSource::TraceSource(TraceConfig cfg) : cfg_(std::move(cfg)) {
+  net::FlowGenConfig gen;
+  gen.flow_count = cfg_.flows == 0 ? 1 : cfg_.flows;
+  gen.bytes_per_flow = cfg_.bytes_per_flow;
+  gen.seed = cfg_.seed;
+  if (cfg_.profile == "mixed") {
+    gen.reorder_fraction = 0.05;
+  } else if (cfg_.profile == "evasion") {
+    gen.evasion = true;
+  } else {
+    throw std::invalid_argument("trace source: unknown profile '" + cfg_.profile +
+                                "' (mixed|evasion)");
+  }
+  base_ = net::generate_flows(gen);
+  if (base_.packets.empty()) {
+    throw std::invalid_argument("trace source: profile generated no packets");
+  }
+  // Epochs must not overlap in capture time: shift each by the base span
+  // plus a gap larger than any idle timeout granularity we soak with.
+  std::uint64_t max_ts = 0;
+  for (const net::Packet& p : base_.packets) max_ts = std::max(max_ts, p.timestamp_us);
+  epoch_span_us_ = max_ts + 1000;
+}
+
+std::size_t TraceSource::poll(std::vector<net::Packet>& out, std::size_t max_packets) {
+  std::size_t n = 0;
+  while (n < max_packets && !exhausted()) {
+    net::Packet p = base_.packets[cursor_];
+    if (epoch_ > 0) {
+      // Fresh flows each epoch: remapped (synthetic) endpoint addresses make
+      // every tuple new, while ports — and therefore rule-group
+      // classification — stay identical to the base epoch.  XORing BOTH
+      // addresses keeps a connection's two directions paired (reversed()
+      // still maps c2s onto s2c) so evasion-mode epochs reassemble exactly
+      // like the base epoch.
+      const auto mix = static_cast<std::uint32_t>(epoch_ * 0x9E3779B1u);
+      p.tuple.src_ip ^= mix;
+      p.tuple.dst_ip ^= mix;
+      p.timestamp_us += epoch_ * epoch_span_us_;
+    }
+    stats_.bytes += p.payload.size();
+    ++stats_.packets;
+    out.push_back(std::move(p));
+    ++n;
+    if (++cursor_ >= base_.packets.size()) {
+      cursor_ = 0;
+      ++epoch_;
+    }
+  }
+  return n;
+}
+
+}  // namespace vpm::capture

@@ -1,0 +1,50 @@
+// Generated-traffic CaptureSource wrapping net::generate_flows — the soak
+// workload.  One base epoch is generated deterministically from the seed;
+// subsequent epochs replay the same packets with a remapped server address
+// and shifted timestamps, so an endless soak creates FRESH flows every epoch
+// (flow-table churn) at zero per-epoch generation cost, and the whole stream
+// is reproducible under VPM_TEST_SEED.
+#pragma once
+
+#include <string>
+
+#include "capture/source.hpp"
+#include "net/flowgen.hpp"
+
+namespace vpm::capture {
+
+struct TraceConfig {
+  std::string profile = "mixed";  // mixed | evasion (adversarial segments)
+  std::size_t flows = 64;
+  std::size_t bytes_per_flow = 64 * 1024;
+  std::uint64_t seed = 1;
+  // Epochs to serve; 0 = endless (live soak; exhausted() never true).
+  std::uint64_t epochs = 1;
+};
+
+class TraceSource final : public CaptureSource {
+ public:
+  // Throws std::invalid_argument on an unknown profile.
+  explicit TraceSource(TraceConfig cfg);
+
+  std::size_t poll(std::vector<net::Packet>& out, std::size_t max_packets) override;
+  bool exhausted() const override {
+    return cfg_.epochs != 0 && epoch_ >= cfg_.epochs;
+  }
+  std::string_view kind() const override { return "trace"; }
+  CaptureStats stats() const override { return stats_; }
+
+  // Ground truth of the base epoch (differential/determinism tests).
+  const net::GeneratedFlows& base() const { return base_; }
+  std::size_t packets_per_epoch() const { return base_.packets.size(); }
+
+ private:
+  TraceConfig cfg_;
+  net::GeneratedFlows base_;
+  std::uint64_t epoch_span_us_ = 0;  // timestamp shift between epochs
+  std::uint64_t epoch_ = 0;
+  std::size_t cursor_ = 0;  // index into base_.packets within the epoch
+  CaptureStats stats_;
+};
+
+}  // namespace vpm::capture

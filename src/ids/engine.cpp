@@ -49,17 +49,13 @@ void IdsEngine::swap_rules(GroupedRulesPtr rules, AlertSink& sink) {
 }
 
 IdsEngine::FlowState& IdsEngine::flow_for(std::uint64_t flow_id, pattern::Group protocol) {
-  auto it = flows_.find(flow_id);
-  if (it == flows_.end()) {
-    it = flows_
-             .emplace(flow_id,
-                      FlowState{protocol, StreamScanner(rules_->matcher_for(protocol),
-                                                        rules_->max_pattern_length(protocol),
-                                                        rules_->pattern_lengths(protocol))})
-             .first;
-    ++counters_.flows;
-  }
-  return it->second;
+  auto [flow, inserted] = flows_.find_or_emplace(flow_id, [&] {
+    return FlowState{protocol, StreamScanner(rules_->matcher_for(protocol),
+                                             rules_->max_pattern_length(protocol),
+                                             rules_->pattern_lengths(protocol))};
+  });
+  if (inserted) ++counters_.flows;
+  return *flow;
 }
 
 void IdsEngine::inspect(std::uint64_t flow_id, pattern::Group protocol, util::ByteView chunk,
@@ -301,15 +297,14 @@ void IdsEngine::close_flow(std::uint64_t flow_id) {
     deferred_close_.push_back(flow_id);
     return;
   }
-  auto it = flows_.find(flow_id);
-  if (it == flows_.end()) return;
-  if (it->second.scanner.staged()) {
+  FlowState* flow = flows_.find(flow_id);
+  if (flow == nullptr) return;
+  if (flow->scanner.staged()) {
     // Dropping a staged chunk unscanned: eviction-time teardown is lossy by
     // design, and a dangling Staged entry must never survive the erase.
-    FlowState* flow = &it->second;
     std::erase_if(pending_, [flow](const Staged& s) { return s.flow == flow; });
   }
-  flows_.erase(it);
+  flows_.erase(flow_id);
 }
 
 }  // namespace vpm::ids

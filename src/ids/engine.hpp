@@ -5,13 +5,13 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/prefilter.hpp"
 #include "ids/alert.hpp"
 #include "ids/flow.hpp"
 #include "ids/rule_group.hpp"
+#include "util/flow_table.hpp"
 
 namespace vpm::telemetry {
 class Counter;
@@ -154,7 +154,7 @@ class IdsEngine {
 
   // One staged chunk awaiting flush_batch().  `view` points into the flow
   // scanner's stream buffer (stable until commit); `flow` stays valid across
-  // rehash (unordered_map nodes do not move).
+  // rehash (FlowTable values live on their own heap cells and do not move).
   struct Staged {
     FlowState* flow = nullptr;
     std::uint64_t flow_id = 0;
@@ -169,7 +169,10 @@ class IdsEngine {
   FlowState& flow_for(std::uint64_t flow_id, pattern::Group protocol);
 
   GroupedRulesPtr rules_;
-  std::unordered_map<std::uint64_t, FlowState> flows_;
+  // Open-addressing flow table (util::FlowTable): flat probing instead of
+  // per-node chasing, stable FlowState pointers for Staged::flow, and the
+  // structure the pipeline's bounded-step idle eviction scales on.
+  util::FlowTable<std::uint64_t, FlowState, util::U64Hash> flows_;
   EngineCounters counters_;
   EngineTelemetry telemetry_;
 

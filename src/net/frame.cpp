@@ -1,0 +1,132 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+
+namespace vpm::net {
+
+namespace {
+
+void put_u16be(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+void put_u32be(util::Bytes& out, std::uint32_t v) {
+  put_u16be(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16be(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+std::uint16_t get_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
+}
+std::uint32_t get_u32be(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
+}
+
+}  // namespace
+
+std::size_t encoded_frame_length(const Packet& p) {
+  const std::size_t l4 =
+      p.tuple.proto == IpProto::tcp ? kTcpHeaderLen : kUdpHeaderLen;
+  return kEthHeaderLen + kIpv4HeaderLen + l4 + p.payload.size();
+}
+
+void encode_ethernet_frame(util::Bytes& out, const Packet& p) {
+  const bool tcp = p.tuple.proto == IpProto::tcp;
+  const std::size_t l4 = tcp ? kTcpHeaderLen : kUdpHeaderLen;
+
+  // Ethernet: synthetic MACs, EtherType IPv4.
+  static constexpr std::uint8_t kDstMac[] = {0x02, 0, 0, 0, 0, 0x01};
+  static constexpr std::uint8_t kSrcMac[] = {0x02, 0, 0, 0, 0, 0x02};
+  out.insert(out.end(), std::begin(kDstMac), std::end(kDstMac));
+  out.insert(out.end(), std::begin(kSrcMac), std::end(kSrcMac));
+  put_u16be(out, 0x0800);
+
+  // IPv4 header (no options, zero checksum).
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0);     // DSCP/ECN
+  put_u16be(out, static_cast<std::uint16_t>(kIpv4HeaderLen + l4 + p.payload.size()));
+  put_u16be(out, 0);       // identification
+  put_u16be(out, 0x4000);  // DF, no fragmentation
+  out.push_back(64);       // TTL
+  out.push_back(static_cast<std::uint8_t>(p.tuple.proto));
+  put_u16be(out, 0);  // header checksum (offloaded)
+  put_u32be(out, p.tuple.src_ip);
+  put_u32be(out, p.tuple.dst_ip);
+
+  if (tcp) {
+    put_u16be(out, p.tuple.src_port);
+    put_u16be(out, p.tuple.dst_port);
+    put_u32be(out, p.tcp_seq);
+    put_u32be(out, 0);      // ack
+    out.push_back(5 << 4);  // data offset 5 words
+    out.push_back(p.tcp_flags);
+    put_u16be(out, 0xFFFF);  // window
+    put_u16be(out, 0);       // checksum
+    put_u16be(out, 0);       // urgent
+  } else {
+    put_u16be(out, p.tuple.src_port);
+    put_u16be(out, p.tuple.dst_port);
+    put_u16be(out, static_cast<std::uint16_t>(kUdpHeaderLen + p.payload.size()));
+    put_u16be(out, 0);  // checksum
+  }
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+}
+
+FrameDecode decode_ethernet_frame(const std::uint8_t* frame, std::size_t len,
+                                  bool clamp_truncated, Packet& out) {
+  if (len < kEthHeaderLen + kIpv4HeaderLen || get_u16be(frame + 12) != 0x0800) {
+    return FrameDecode::malformed;
+  }
+  const std::uint8_t* ip = frame + kEthHeaderLen;
+  const unsigned ihl = (ip[0] & 0x0F) * 4u;
+  if ((ip[0] >> 4) != 4 || ihl < 20 || len < kEthHeaderLen + ihl) {
+    return FrameDecode::malformed;
+  }
+  const std::uint16_t total_len = get_u16be(ip + 2);
+  const std::uint8_t proto = ip[9];
+  if ((proto != 6 && proto != 17) || total_len < ihl) return FrameDecode::malformed;
+  if (!clamp_truncated && kEthHeaderLen + total_len > len) {
+    // Replay semantics: the capture claims more IP bytes than it delivered —
+    // crafted lengths, not a snaplen cut.
+    return FrameDecode::malformed;
+  }
+  // L4 bytes the IP header claims vs. bytes the capture actually delivered.
+  const std::size_t l4_claimed = total_len - ihl;
+  const std::size_t l4_captured =
+      std::min<std::size_t>(l4_claimed, len - kEthHeaderLen - ihl);
+
+  out.tuple.src_ip = get_u32be(ip + 12);
+  out.tuple.dst_ip = get_u32be(ip + 16);
+  out.tuple.proto = static_cast<IpProto>(proto);
+
+  const std::uint8_t* l4 = ip + ihl;
+  bool truncated = false;
+  if (proto == 6) {
+    if (l4_captured < kTcpHeaderLen) return FrameDecode::malformed;
+    const unsigned data_off = (l4[12] >> 4) * 4u;
+    if (data_off < kTcpHeaderLen || l4_claimed < data_off || l4_captured < data_off) {
+      return FrameDecode::malformed;
+    }
+    out.tuple.src_port = get_u16be(l4);
+    out.tuple.dst_port = get_u16be(l4 + 2);
+    out.tcp_seq = get_u32be(l4 + 4);
+    out.tcp_flags = l4[13];
+    out.payload.assign(l4 + data_off, l4 + l4_captured);
+    truncated = l4_captured < l4_claimed;
+  } else {
+    if (l4_captured < kUdpHeaderLen) return FrameDecode::malformed;
+    // The UDP header carries its own length; honor it, but only when it is
+    // consistent with the IP framing — a datagram claiming more bytes than
+    // the IP layer delivered (or fewer than its own header) is crafted.
+    const std::uint16_t udp_len = get_u16be(l4 + 4);
+    if (udp_len < kUdpHeaderLen || udp_len > l4_claimed) return FrameDecode::malformed;
+    const std::size_t udp_end = std::min<std::size_t>(udp_len, l4_captured);
+    out.tuple.src_port = get_u16be(l4);
+    out.tuple.dst_port = get_u16be(l4 + 2);
+    out.payload.assign(l4 + kUdpHeaderLen, l4 + udp_end);
+    truncated = udp_end < udp_len;
+  }
+  return truncated ? FrameDecode::truncated : FrameDecode::ok;
+}
+
+}  // namespace vpm::net

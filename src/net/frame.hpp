@@ -1,0 +1,50 @@
+// Ethernet/IPv4/{TCP,UDP} frame codec shared by the pcap reader/writer and
+// the AF_PACKET capture path (ring walker + the in-process mock kernel
+// ring).  One decoder means a frame is parsed identically whether it arrived
+// from a replay file or a TPACKET_V3 ring — the capture differential test
+// leans on exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/packet.hpp"
+
+namespace vpm::net {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kTcpHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+enum class FrameDecode : std::uint8_t {
+  ok,         // fully decoded
+  truncated,  // decoded, but the capture cut claimed payload bytes (clamp mode)
+  malformed,  // not decodable; out is unspecified
+};
+
+// Decodes one Ethernet frame of `len` captured bytes into `out` (tuple,
+// tcp_seq/flags, payload; the caller stamps timestamp_us).  Non-IPv4
+// ethertypes, non-TCP/UDP protocols, and header-level inconsistencies are
+// malformed.
+//
+// clamp_truncated governs frames whose captured bytes end before the
+// IP/UDP-claimed payload does:
+//   false  malformed — pcap-replay semantics (read_pcap), where cap_len
+//          should cover the claimed frame and a shortfall means crafted
+//          lengths;
+//   true   the payload is clamped to the captured extent and `truncated` is
+//          returned — snaplen-cut AF_PACKET frames, where tp_snaplen <
+//          tp_len is routine and the prefix is still worth scanning.
+FrameDecode decode_ethernet_frame(const std::uint8_t* frame, std::size_t len,
+                                  bool clamp_truncated, Packet& out);
+
+// Appends the canonical frame encoding of `p` (synthetic MACs, IPv4 without
+// options, zero checksums) — the body write_pcap wraps in a record header
+// and the mock ring wraps in a TPACKET_V3 frame header.
+void encode_ethernet_frame(util::Bytes& out, const Packet& p);
+
+// Byte length encode_ethernet_frame would append for `p`.
+std::size_t encoded_frame_length(const Packet& p);
+
+}  // namespace vpm::net

@@ -3,25 +3,16 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/frame.hpp"
+
 namespace vpm::net {
 
 namespace {
 
 constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4;  // microsecond timestamps
 constexpr std::uint32_t kLinkEthernet = 1;
-constexpr std::size_t kEthLen = 14;
-constexpr std::size_t kIpv4Len = 20;
-constexpr std::size_t kTcpLen = 20;
-constexpr std::size_t kUdpLen = 8;
+constexpr std::size_t kEthLen = kEthHeaderLen;
 
-void put_u16be(util::Bytes& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
-}
-void put_u32be(util::Bytes& out, std::uint32_t v) {
-  put_u16be(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16be(out, static_cast<std::uint16_t>(v & 0xFFFF));
-}
 void put_u32le(util::Bytes& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
 }
@@ -30,13 +21,6 @@ void put_u16le(util::Bytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
-std::uint16_t get_u16be(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
-}
-std::uint32_t get_u32be(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
-         static_cast<std::uint32_t>(p[2]) << 8 | p[3];
-}
 std::uint32_t get_u32le(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[3]) << 24 | static_cast<std::uint32_t>(p[2]) << 16 |
          static_cast<std::uint32_t>(p[1]) << 8 | p[0];
@@ -56,9 +40,7 @@ util::Bytes write_pcap(const std::vector<Packet>& packets) {
   put_u32le(out, kLinkEthernet);
 
   for (const Packet& p : packets) {
-    const bool tcp = p.tuple.proto == IpProto::tcp;
-    const std::size_t l4 = tcp ? kTcpLen : kUdpLen;
-    const std::size_t frame_len = kEthLen + kIpv4Len + l4 + p.payload.size();
+    const std::size_t frame_len = encoded_frame_length(p);
 
     // Record header.
     put_u32le(out, static_cast<std::uint32_t>(p.timestamp_us / 1000000));
@@ -66,42 +48,9 @@ util::Bytes write_pcap(const std::vector<Packet>& packets) {
     put_u32le(out, static_cast<std::uint32_t>(frame_len));  // captured
     put_u32le(out, static_cast<std::uint32_t>(frame_len));  // on wire
 
-    // Ethernet: synthetic MACs, EtherType IPv4.
-    static constexpr std::uint8_t kDstMac[] = {0x02, 0, 0, 0, 0, 0x01};
-    static constexpr std::uint8_t kSrcMac[] = {0x02, 0, 0, 0, 0, 0x02};
-    out.insert(out.end(), std::begin(kDstMac), std::end(kDstMac));
-    out.insert(out.end(), std::begin(kSrcMac), std::end(kSrcMac));
-    put_u16be(out, 0x0800);
-
-    // IPv4 header (no options, zero checksum).
-    out.push_back(0x45);  // version 4, IHL 5
-    out.push_back(0);     // DSCP/ECN
-    put_u16be(out, static_cast<std::uint16_t>(kIpv4Len + l4 + p.payload.size()));
-    put_u16be(out, 0);    // identification
-    put_u16be(out, 0x4000);  // DF, no fragmentation
-    out.push_back(64);    // TTL
-    out.push_back(static_cast<std::uint8_t>(p.tuple.proto));
-    put_u16be(out, 0);    // header checksum (offloaded)
-    put_u32be(out, p.tuple.src_ip);
-    put_u32be(out, p.tuple.dst_ip);
-
-    if (tcp) {
-      put_u16be(out, p.tuple.src_port);
-      put_u16be(out, p.tuple.dst_port);
-      put_u32be(out, p.tcp_seq);
-      put_u32be(out, 0);        // ack
-      out.push_back(5 << 4);    // data offset 5 words
-      out.push_back(p.tcp_flags);
-      put_u16be(out, 0xFFFF);   // window
-      put_u16be(out, 0);        // checksum
-      put_u16be(out, 0);        // urgent
-    } else {
-      put_u16be(out, p.tuple.src_port);
-      put_u16be(out, p.tuple.dst_port);
-      put_u16be(out, static_cast<std::uint16_t>(kUdpLen + p.payload.size()));
-      put_u16be(out, 0);  // checksum
-    }
-    out.insert(out.end(), p.payload.begin(), p.payload.end());
+    // The frame body is the shared codec's canonical encoding (net/frame.hpp)
+    // — the same bytes the mock TPACKET_V3 ring wraps in its frame headers.
+    encode_ethernet_frame(out, p);
   }
   return out;
 }
@@ -141,54 +90,15 @@ PcapParseResult read_pcap(util::ByteView data) {
     const std::uint8_t* frame = data.data() + off;
     off += cap_len;
 
-    if (cap_len < kEthLen + kIpv4Len || get_u16be(frame + 12) != 0x0800) {
-      ++result.skipped_records;
-      continue;
-    }
-    const std::uint8_t* ip = frame + kEthLen;
-    const unsigned ihl = (ip[0] & 0x0F) * 4u;
-    if ((ip[0] >> 4) != 4 || ihl < 20 || cap_len < kEthLen + ihl) {
-      ++result.skipped_records;
-      continue;
-    }
-    const std::uint16_t total_len = get_u16be(ip + 2);
-    const std::uint8_t proto = ip[9];
-    if ((proto != 6 && proto != 17) || total_len < ihl || kEthLen + total_len > cap_len) {
-      ++result.skipped_records;
-      continue;
-    }
-
+    // Replay semantics (clamp_truncated = false): a record whose captured
+    // bytes don't cover the IP-claimed frame is crafted, not snaplen-cut.
     Packet pkt;
-    pkt.timestamp_us = static_cast<std::uint64_t>(ts_sec) * 1000000 + ts_usec;
-    pkt.tuple.src_ip = get_u32be(ip + 12);
-    pkt.tuple.dst_ip = get_u32be(ip + 16);
-    pkt.tuple.proto = static_cast<IpProto>(proto);
-
-    const std::uint8_t* l4 = ip + ihl;
-    const std::size_t l4_avail = total_len - ihl;
-    if (proto == 6) {
-      if (l4_avail < kTcpLen) { ++result.skipped_records; continue; }
-      const unsigned data_off = (l4[12] >> 4) * 4u;
-      if (data_off < kTcpLen || l4_avail < data_off) { ++result.skipped_records; continue; }
-      pkt.tuple.src_port = get_u16be(l4);
-      pkt.tuple.dst_port = get_u16be(l4 + 2);
-      pkt.tcp_seq = get_u32be(l4 + 4);
-      pkt.tcp_flags = l4[13];
-      pkt.payload.assign(l4 + data_off, l4 + l4_avail);
-    } else {
-      if (l4_avail < kUdpLen) { ++result.skipped_records; continue; }
-      // The UDP header carries its own length; honor it, but only when it is
-      // consistent with the IP framing — a datagram claiming more bytes than
-      // the IP layer delivered (or fewer than its own header) is crafted.
-      const std::uint16_t udp_len = get_u16be(l4 + 4);
-      if (udp_len < kUdpLen || udp_len > l4_avail) {
-        ++result.skipped_records;
-        continue;
-      }
-      pkt.tuple.src_port = get_u16be(l4);
-      pkt.tuple.dst_port = get_u16be(l4 + 2);
-      pkt.payload.assign(l4 + kUdpLen, l4 + udp_len);
+    if (decode_ethernet_frame(frame, cap_len, /*clamp_truncated=*/false, pkt) !=
+        FrameDecode::ok) {
+      ++result.skipped_records;
+      continue;
     }
+    pkt.timestamp_us = static_cast<std::uint64_t>(ts_sec) * 1000000 + ts_usec;
     result.packets.push_back(std::move(pkt));
   }
   return result;

@@ -22,23 +22,32 @@ void TcpReassembler::ingest(const Packet& packet) {
   const bool rst = (packet.tcp_flags & kTcpRst) != 0;
 
   const FiveTuple key = packet.tuple.canonical();
-  auto it = conns_.find(key);
-  if (it == conns_.end()) {
+  ConnectionState* found = conns_.find(key);
+  if (found == nullptr) {
     // Don't materialize state for stray empty ACKs of unknown connections
     // (state-exhaustion hygiene), and an RST for an unknown connection has
     // nothing to tear down.
     if (rst || (packet.payload.empty() && !syn && !fin)) return;
-    ConnectionState conn;
-    // The first packet's sender is the client — unless it is the server's
-    // SYN|ACK of a handshake whose SYN the capture missed.
-    const bool from_server = syn && (packet.tcp_flags & kTcpAck) != 0;
-    conn.sides[0] = from_server ? packet.tuple.reversed() : packet.tuple;
-    conn.sides[1] = conn.sides[0].reversed();
-    it = conns_.emplace(key, std::move(conn)).first;
+    found = conns_
+                .find_or_emplace(key,
+                                 [&] {
+                                   ConnectionState conn;
+                                   // The first packet's sender is the client —
+                                   // unless it is the server's SYN|ACK of a
+                                   // handshake whose SYN the capture missed.
+                                   const bool from_server =
+                                       syn && (packet.tcp_flags & kTcpAck) != 0;
+                                   conn.sides[0] = from_server
+                                                       ? packet.tuple.reversed()
+                                                       : packet.tuple;
+                                   conn.sides[1] = conn.sides[0].reversed();
+                                   return conn;
+                                 })
+                .first;
     ++stats_.connections_started;
-    if (on_start_) on_start_(it->second.sides[0]);
+    if (on_start_) on_start_(found->sides[0]);
   }
-  ConnectionState& conn = it->second;
+  ConnectionState& conn = *found;
   conn.last_activity_us = std::max(conn.last_activity_us, packet.timestamp_us);
   const Direction dir = packet.tuple == conn.sides[0] ? Direction::client_to_server
                                                       : Direction::server_to_client;
@@ -51,7 +60,8 @@ void TcpReassembler::ingest(const Packet& packet) {
     // RST tears the connection down immediately; its payload (if any) is
     // ignored, as the endpoint would ignore it.
     ++stats_.resets;
-    end_connection(it, EndReason::rst);
+    finish_connection(conn, EndReason::rst);
+    conns_.erase(key);
     return;
   }
 
@@ -133,7 +143,10 @@ void TcpReassembler::ingest(const Packet& packet) {
     }
   }
 
-  if (both_sides_done(conn)) end_connection(it, EndReason::fin);
+  if (both_sides_done(conn)) {
+    finish_connection(conn, EndReason::fin);
+    conns_.erase(key);
+  }
 }
 
 void TcpReassembler::deliver(const ConnectionState& conn, Direction dir,
@@ -280,32 +293,45 @@ bool TcpReassembler::both_sides_done(const ConnectionState& conn) const {
   return true;
 }
 
-TcpReassembler::ConnMap::iterator TcpReassembler::end_connection(ConnMap::iterator it,
-                                                                 EndReason reason) {
-  ConnectionState& conn = it->second;
+void TcpReassembler::finish_connection(ConnectionState& conn, EndReason reason) {
   stats_.discarded_on_close_bytes += pending_total(conn);
   ++stats_.connections_ended;
   if (on_end_) on_end_(conn.sides[0], reason);
-  return conns_.erase(it);
 }
 
 void TcpReassembler::close_flow(const FiveTuple& tuple) {
-  auto it = conns_.find(tuple.canonical());
-  if (it != conns_.end()) end_connection(it, EndReason::closed);
+  const FiveTuple key = tuple.canonical();
+  if (ConnectionState* conn = conns_.find(key)) {
+    finish_connection(*conn, EndReason::closed);
+    conns_.erase(key);
+  }
 }
 
 std::vector<FiveTuple> TcpReassembler::evict_idle(std::uint64_t now_us,
                                                   std::uint64_t idle_us) {
   std::vector<FiveTuple> evicted;
   if (idle_us == 0) return evicted;
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->second.last_activity_us + idle_us <= now_us) {
-      evicted.push_back(it->second.sides[0]);
-      it = end_connection(it, EndReason::evicted);
-    } else {
-      ++it;
-    }
-  }
+  conns_.sweep([&](const FiveTuple&, ConnectionState& conn) {
+    if (conn.last_activity_us + idle_us > now_us) return false;
+    evicted.push_back(conn.sides[0]);
+    finish_connection(conn, EndReason::evicted);
+    return true;
+  });
+  stats_.evicted_flows += evicted.size();
+  return evicted;
+}
+
+std::vector<FiveTuple> TcpReassembler::evict_idle_step(std::uint64_t now_us,
+                                                       std::uint64_t idle_us,
+                                                       std::size_t max_slots) {
+  std::vector<FiveTuple> evicted;
+  if (idle_us == 0) return evicted;
+  conns_.sweep_step(max_slots, [&](const FiveTuple&, ConnectionState& conn) {
+    if (conn.last_activity_us + idle_us > now_us) return false;
+    evicted.push_back(conn.sides[0]);
+    finish_connection(conn, EndReason::evicted);
+    return true;
+  });
   stats_.evicted_flows += evicted.size();
   return evicted;
 }

@@ -31,10 +31,10 @@
 #include <map>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "util/flow_table.hpp"
 
 namespace vpm::telemetry {
 class Histogram;
@@ -169,6 +169,19 @@ class TcpReassembler {
   // evicts nothing.
   std::vector<FiveTuple> evict_idle(std::uint64_t now_us, std::uint64_t idle_us);
 
+  // Incremental eviction: examines at most `max_slots` flow-table slots from
+  // a persistent rotating cursor and evicts the idle connections among them.
+  // Bounded work per call — no full-sweep latency spike at million-flow
+  // scale; repeated calls cycle the whole table (capacity() / max_slots
+  // calls per full pass), so idle flows are still found, just with bounded
+  // lag.  Same callback/stats behavior as evict_idle.
+  std::vector<FiveTuple> evict_idle_step(std::uint64_t now_us, std::uint64_t idle_us,
+                                         std::size_t max_slots);
+
+  // Flow-table slot count (capacity of the open-addressing table); the
+  // denominator for incremental-eviction cycle length.
+  std::size_t table_capacity() const { return conns_.capacity(); }
+
   std::size_t active_flows() const { return conns_.size(); }
   const ReassemblyStats& stats() const { return stats_; }
   OverlapPolicy policy() const { return cfg_.overlap; }
@@ -215,7 +228,9 @@ class TcpReassembler {
   struct TupleHash {
     std::size_t operator()(const FiveTuple& t) const { return t.hash(); }
   };
-  using ConnMap = std::unordered_map<FiveTuple, ConnectionState, TupleHash>;
+  // Open-addressing with stable ConnectionState pointers and an incremental
+  // sweep cursor — the structure evict_idle_step's bounded work rides on.
+  using ConnMap = util::FlowTable<FiveTuple, ConnectionState, TupleHash>;
 
   std::size_t pending_total(const ConnectionState& conn) const {
     return conn.streams[0].pending_bytes + conn.streams[1].pending_bytes;
@@ -235,9 +250,12 @@ class TcpReassembler {
   // Trims buffered data at or past the side's FIN offset.
   void truncate_past_fin(StreamState& side, Direction dir);
   bool both_sides_done(const ConnectionState& conn) const;
-  // Fires the end callback, counts discarded pending bytes, erases the
-  // connection.  Returns the iterator after the erased element.
-  ConnMap::iterator end_connection(ConnMap::iterator it, EndReason reason);
+  // Fires the end callback and counts discarded pending bytes.  Does NOT
+  // erase: callers erase via the table (or return true from a sweep) so the
+  // teardown works identically from point lookups and bounded sweeps.  The
+  // end callback must not reenter this reassembler (the pipeline worker's
+  // tears down engine state only).
+  void finish_connection(ConnectionState& conn, EndReason reason);
 
   ChunkCallback on_chunk_;
   ConnectionStartCallback on_start_;

@@ -78,6 +78,26 @@ struct PipelineConfig {
   // replays behave identically at any speed.  0 disables eviction.
   std::uint64_t idle_timeout_us = 0;
   std::size_t eviction_sweep_packets = 512;  // packets between sweeps
+  // Upper bound on flow-table slots examined per eviction sweep.  0 = full
+  // sweep every time (exact, but an O(table) latency spike at million-flow
+  // scale).  Nonzero bounds per-batch eviction work: each sweep advances a
+  // rotating cursor by at most this many slots, so idle flows are evicted
+  // with bounded lag instead of a stall — the soak bench quantifies the
+  // spike-vs-debt trade.  Small tables are unaffected (a bound >= capacity
+  // is a full sweep).
+  std::size_t eviction_max_steps = 0;
+
+  // Worker→CPU pinning: worker i pins its thread to worker_cpus[i %
+  // worker_cpus.size()] at startup.  Empty = no pinning (the default; the
+  // scheduler places threads).  Fill from --cpu-list, or from
+  // capture::CpuTopology for NUMA-interleaved placement.
+  std::vector<int> worker_cpus;
+  // With pinning in effect, compile one GroupedRules instance per distinct
+  // NUMA node the pinned workers land on (instead of one shared instance),
+  // so each socket scans its node-local copy of the compiled arena.  Applies
+  // to the DatabasePtr constructor and swap_database(); ignored (single
+  // shared instance) when worker_cpus is empty or the host has one node.
+  bool numa_replicate_rules = false;
 
   net::ReassemblyLimits reassembly{};
 

@@ -1,20 +1,74 @@
 #include "pipeline/runtime.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <thread>
 
+#include "capture/topology.hpp"
 #include "util/failpoint.hpp"
 
 namespace vpm::pipeline {
 
-PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg)
+namespace {
+
+// Worker i -> ruleset-replica slot.  Without NUMA replication every worker
+// reads slot 0.  With it, workers pinned to CPUs of the same NUMA node share
+// a slot; slots are numbered in first-seen order so slot 0 is always
+// populated.
+std::vector<std::size_t> compute_worker_slots(const PipelineConfig& cfg) {
+  std::vector<std::size_t> slots(cfg.workers, 0);
+  if (!cfg.numa_replicate_rules || cfg.worker_cpus.empty()) return slots;
+  const capture::CpuTopology topo = capture::CpuTopology::detect();
+  std::vector<int> seen_nodes;
+  for (unsigned i = 0; i < cfg.workers; ++i) {
+    const int cpu = cfg.worker_cpus[i % cfg.worker_cpus.size()];
+    const int node = std::max(topo.node_of(cpu), 0);
+    std::size_t slot = seen_nodes.size();
+    for (std::size_t s = 0; s < seen_nodes.size(); ++s) {
+      if (seen_nodes[s] == node) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == seen_nodes.size()) seen_nodes.push_back(node);
+    slots[i] = slot;
+  }
+  return slots;
+}
+
+}  // namespace
+
+PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, DatabasePtr db,
+                                 PipelineConfig cfg)
     : cfg_(cfg) {
   if (cfg_.workers == 0) cfg_.workers = 1;
   if (cfg_.batch_packets == 0) cfg_.batch_packets = 1;
-  rules_channel_.set_initial(rules);
+  worker_slot_ = compute_worker_slots(cfg_);
+  std::size_t num_slots = 1;
+  for (const std::size_t s : worker_slot_) num_slots = std::max(num_slots, s + 1);
+
+  // Slot 0 adopts the caller's instance; further slots get their own
+  // GroupedRules compiled off the same database — same generation (it comes
+  // from the database), node-local matcher tables.  The legacy PatternSet
+  // path has no database to recompile from and shares the one instance.
+  std::vector<ids::GroupedRulesPtr> replicas(num_slots, rules);
+  for (std::size_t s = 1; s < num_slots && db != nullptr; ++s) {
+    replicas[s] = std::make_shared<const ids::GroupedRules>(db);
+  }
+  rules_channels_.reserve(num_slots);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    rules_channels_.push_back(std::make_unique<RulesChannel>());
+    rules_channels_.back()->set_initial(replicas[s]);
+  }
+
   workers_.reserve(cfg_.workers);
   for (unsigned i = 0; i < cfg_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(rules, cfg_, &rules_channel_));
+    const std::size_t slot = worker_slot_[i];
+    workers_.push_back(
+        std::make_unique<Worker>(replicas[slot], cfg_, rules_channels_[slot].get()));
+    if (!cfg_.worker_cpus.empty()) {
+      workers_.back()->set_cpu(cfg_.worker_cpus[i % cfg_.worker_cpus.size()]);
+    }
     if (cfg_.metrics != nullptr) workers_.back()->enable_telemetry(*cfg_.metrics, i);
   }
   std::vector<ShardRouter::Ring*> rings;
@@ -26,13 +80,13 @@ PipelineRuntime::PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg)
 }
 
 PipelineRuntime::PipelineRuntime(DatabasePtr db, PipelineConfig cfg)
-    : PipelineRuntime(std::make_shared<const ids::GroupedRules>(std::move(db)), cfg) {}
+    : PipelineRuntime(std::make_shared<const ids::GroupedRules>(db), db, cfg) {}
 
 PipelineRuntime::PipelineRuntime(const pattern::PatternSet& rules, PipelineConfig cfg)
     // Legacy shim: generation-0 rules, matching the legacy single-threaded
     // IdsEngine(rules, cfg) reference alert-for-alert.
     : PipelineRuntime(std::make_shared<const ids::GroupedRules>(rules, cfg.algorithm),
-                      cfg) {}
+                      nullptr, cfg) {}
 
 void PipelineRuntime::swap_database(DatabasePtr db) {
   if (db == nullptr) {
@@ -44,14 +98,21 @@ void PipelineRuntime::swap_database(DatabasePtr db) {
     throw std::runtime_error(
         "PipelineRuntime::swap_database: injected publish failure (failpoint)");
   }
-  // Control-plane compile; the scan path never blocks on it.  publish()
+  // Control-plane compile (one per replica slot; every replica reports the
+  // database's generation); the scan path never blocks on it.  publish()
   // orders the slot write before the seq bump, pairing with the workers'
   // seq-then-slot reads: observing the bump implies observing the rules.
-  rules_channel_.publish(std::make_shared<const ids::GroupedRules>(std::move(db)));
+  // Publications to the per-node channels are not atomic as a set, but
+  // adoption was already per-worker at batch boundaries, so the swap
+  // contract (every alert tagged with the generation that produced it) is
+  // unchanged.
+  for (auto& channel : rules_channels_) {
+    channel->publish(std::make_shared<const ids::GroupedRules>(db));
+  }
 }
 
 std::uint64_t PipelineRuntime::generation() const {
-  const ids::GroupedRulesPtr rules = rules_channel_.current();
+  const ids::GroupedRulesPtr rules = rules_channels_.front()->current();
   return rules != nullptr ? rules->generation() : 0;
 }
 

@@ -120,11 +120,24 @@ class PipelineRuntime {
   // stop(); empty when cfg.alert_sink routed alerts elsewhere.
   const std::vector<ids::Alert>& alerts() const { return alerts_; }
 
+  // Ruleset replicas backing the workers: 1 normally; one per NUMA node
+  // covered by cfg.worker_cpus when cfg.numa_replicate_rules is set (the
+  // DatabasePtr path — replicas share the master pattern bytes through the
+  // database but carry node-local compiled matcher tables).
+  std::size_t rules_replicas() const { return rules_channels_.size(); }
+
  private:
-  PipelineRuntime(ids::GroupedRulesPtr rules, PipelineConfig cfg);
+  // `db` is the compiled database backing `rules` (null on the legacy
+  // PatternSet path); kept so NUMA replication can build additional
+  // same-generation GroupedRules instances off it.
+  PipelineRuntime(ids::GroupedRulesPtr rules, DatabasePtr db, PipelineConfig cfg);
 
   PipelineConfig cfg_;
-  RulesChannel rules_channel_;
+  // One channel per ruleset replica.  Slot 0 always exists; worker i reads
+  // worker_slot_[i].  unique_ptr: RulesChannel holds atomics/mutex and must
+  // not move once workers hold pointers into it.
+  std::vector<std::unique_ptr<RulesChannel>> rules_channels_;
+  std::vector<std::size_t> worker_slot_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ShardRouter> router_;
   std::unique_ptr<Watchdog> watchdog_;  // null when cfg.watchdog_interval_ms == 0

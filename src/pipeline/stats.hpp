@@ -44,6 +44,8 @@ struct WorkerStats {
   std::uint64_t connections_started = 0;
   std::uint64_t connections_ended = 0;
   std::uint64_t active_flows = 0;    // gauge: engine flows currently holding state
+  std::uint64_t tracked_connections = 0;  // gauge: reassembler connections + UDP flows
+                                          // currently tracked (flow-table occupancy)
   std::uint64_t rules_generation = 0;  // gauge: ruleset generation this worker runs
   std::uint64_t rules_swaps = 0;       // gauge: hot-swaps this worker has adopted
   // Overload / robustness accounting.  The drain identity after stop():
@@ -93,6 +95,7 @@ struct WorkerStats {
     f("connections_started", StatKind::counter, &WorkerStats::connections_started);
     f("connections_ended", StatKind::counter, &WorkerStats::connections_ended);
     f("active_flows", StatKind::gauge, &WorkerStats::active_flows);
+    f("tracked_connections", StatKind::gauge, &WorkerStats::tracked_connections);
     f("rules_generation", StatKind::gauge_max, &WorkerStats::rules_generation);
     f("rules_swaps", StatKind::gauge_max, &WorkerStats::rules_swaps);
     f("processed_packets", StatKind::counter, &WorkerStats::processed_packets);
@@ -113,9 +116,9 @@ struct WorkerStats {
       &WorkerStats::prefilter_reject_bytes);
   }
 
-  // 31 uint64 fields.  If this fires you added a field: list it in
+  // 32 uint64 fields.  If this fires you added a field: list it in
   // for_each_field (pick its StatKind deliberately) and bump the count.
-  static constexpr std::size_t kFieldCount = 31;
+  static constexpr std::size_t kFieldCount = 32;
 
   WorkerStats& operator+=(const WorkerStats& o) {
     for_each_field([&](const char*, StatKind kind, auto member) {

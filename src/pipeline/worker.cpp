@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "capture/topology.hpp"
 #include "ids/pcap_pipeline.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/failpoint.hpp"
@@ -136,6 +137,9 @@ void Worker::run() {
   // block backpressure policy an abandoned ring would wedge the producer and
   // with it every healthy shard.
   try {
+    // Pin before any work: the flow tables and scratch this thread is about
+    // to fault in should come from the pinned CPU's local node.
+    if (pin_cpu_ >= 0) capture::pin_current_thread(pin_cpu_);
     run_loop();
   } catch (const std::exception& e) {
     error_ = std::string("worker failure: ") + e.what();
@@ -338,7 +342,8 @@ void Worker::handle_packet(net::Packet& packet) {
     // UDP: datagram-scoped scan; the engine still keeps per-flow carry so a
     // pattern split across datagrams of one flow is found.
     const std::uint64_t key = flow_key(packet.tuple);
-    udp_last_seen_[key] = virtual_now_us_;
+    *udp_last_seen_.find_or_emplace(key, [&] { return virtual_now_us_; }).first =
+        virtual_now_us_;
     engine_.stage(key, ids::classify_port(packet.tuple.dst_port), packet.payload,
                   *sink_);
   }
@@ -364,16 +369,23 @@ void Worker::handle_packet(net::Packet& packet) {
 void Worker::sweep_idle(std::uint64_t idle_us) {
   // Engine-side teardown happens in the reassembler's connection-end
   // callback (both directions of each evicted connection).
-  const auto evicted = reassembler_.evict_idle(virtual_now_us_, idle_us);
+  // eviction_max_steps bounds the slots examined per sweep (rotating
+  // cursor); 0 keeps the exact full sweep.
+  const std::size_t max_steps = cfg_.eviction_max_steps;
+  const auto evicted =
+      max_steps == 0 ? reassembler_.evict_idle(virtual_now_us_, idle_us)
+                     : reassembler_.evict_idle_step(virtual_now_us_, idle_us, max_steps);
   evicted_ += evicted.size();
-  for (auto it = udp_last_seen_.begin(); it != udp_last_seen_.end();) {
-    if (it->second + idle_us <= virtual_now_us_) {
-      engine_.close_flow(it->first);
-      ++evicted_;
-      it = udp_last_seen_.erase(it);
-    } else {
-      ++it;
-    }
+  const auto evict_udp = [&](std::uint64_t key, std::uint64_t last_seen) {
+    if (last_seen + idle_us > virtual_now_us_) return false;
+    engine_.close_flow(key);
+    ++evicted_;
+    return true;
+  };
+  if (max_steps == 0) {
+    udp_last_seen_.sweep(evict_udp);
+  } else {
+    udp_last_seen_.sweep_step(max_steps, evict_udp);
   }
 }
 
@@ -401,6 +413,8 @@ void Worker::publish_stats() {
                                        std::memory_order_relaxed);
   published_.connections_ended.store(rs.connections_ended, std::memory_order_relaxed);
   published_.active_flows.store(engine_.active_flows(), std::memory_order_relaxed);
+  published_.tracked_connections.store(
+      reassembler_.active_flows() + udp_last_seen_.size(), std::memory_order_relaxed);
   published_.rules_generation.store(engine_.generation(), std::memory_order_relaxed);
   published_.rules_swaps.store(swaps_adopted_, std::memory_order_relaxed);
   published_.prefilter_pass_payloads.store(ec.prefilter_pass_payloads,
@@ -434,6 +448,7 @@ WorkerStats Worker::stats() const {
   s.connections_started = published_.connections_started.load(std::memory_order_relaxed);
   s.connections_ended = published_.connections_ended.load(std::memory_order_relaxed);
   s.active_flows = published_.active_flows.load(std::memory_order_relaxed);
+  s.tracked_connections = published_.tracked_connections.load(std::memory_order_relaxed);
   s.rules_generation = published_.rules_generation.load(std::memory_order_relaxed);
   s.rules_swaps = published_.rules_swaps.load(std::memory_order_relaxed);
   s.processed_packets = published_.processed_packets.load(std::memory_order_relaxed);

@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/flow_table.hpp"
+
 #include "ids/engine.hpp"
 #include "net/reassembly.hpp"
 #include "pipeline/config.hpp"
@@ -121,6 +123,11 @@ class Worker {
 
   SpscRing<PacketBatch>& ring() { return ring_; }
 
+  // Pins the worker thread to `cpu` when it starts (sched_setaffinity; -1 =
+  // unpinned).  Call before start().  A failed pin is non-fatal: the worker
+  // runs wherever the scheduler puts it.
+  void set_cpu(int cpu) { pin_cpu_ = cpu; }
+
   void start();
   // Tells the thread to exit once the ring is drained (producer must have
   // flushed and stopped pushing first).
@@ -187,9 +194,11 @@ class Worker {
   // Worker-thread-local bookkeeping.
   std::uint64_t virtual_now_us_ = 0;  // max packet timestamp seen
   std::size_t packets_since_sweep_ = 0;
+  int pin_cpu_ = -1;
   // Last activity of engine-only (UDP) flows; TCP flows are tracked by the
-  // reassembler itself.
-  std::unordered_map<std::uint64_t, std::uint64_t> udp_last_seen_;
+  // reassembler itself.  Open-addressing like the reassembler's table so
+  // bounded-step eviction (cfg.eviction_max_steps) covers UDP churn too.
+  util::FlowTable<std::uint64_t, std::uint64_t, util::U64Hash> udp_last_seen_;
 
   // Degradation ladder (worker-thread-only except the mirrored gauges).
   OverloadManager overload_;
@@ -219,6 +228,7 @@ class Worker {
     std::atomic<std::uint64_t> connections_started{0};
     std::atomic<std::uint64_t> connections_ended{0};
     std::atomic<std::uint64_t> active_flows{0};
+    std::atomic<std::uint64_t> tracked_connections{0};
     std::atomic<std::uint64_t> rules_generation{0};
     std::atomic<std::uint64_t> rules_swaps{0};
     std::atomic<std::uint64_t> processed_packets{0};
